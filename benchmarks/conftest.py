@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one experiment (DESIGN.md §4), asserts its
+shape claim, and writes its table to ``benchmarks/results/<name>.txt`` so
+the output survives pytest's capture.  ``REPRO_FULL=1`` switches every
+benchmark from the fast CI scale to full scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def save_table():
+    """Fixture: save_table(name, rows, title) — print + persist a table."""
+
+    def _save(name: str, rows, title: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(rows, title=title)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+@pytest.fixture()
+def save_figure():
+    """Fixture: save_figure(name, text) — print + persist an ASCII figure."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.figure.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,32 @@
+"""E10 — SRA design ablations (design-choices table analogue).
+
+Shape claims: every variant stays feasible (the contract is enforced
+structurally, not by luck), and the full configuration is never beaten
+by a large margin — i.e. no single design choice is carrying negative
+value.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e10_ablation(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e10"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e10", rows, "E10 — SRA ablations on the tight suite")
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["variant"]] = r
+    for instance, variants in by_instance.items():
+        assert "full" in variants
+        for name, r in variants.items():
+            assert r["feasible"], f"{instance}/{name}"
+        full = variants["full"]["peak_after"]
+        for name, r in variants.items():
+            assert full <= r["peak_after"] + 0.02, (
+                f"{instance}: '{name}' beat 'full' by "
+                f"{full - r['peak_after']:.4f}"
+            )

@@ -1,0 +1,41 @@
+"""E11 — replicated indexes with anti-affinity (extension).
+
+Shape claims: constrained algorithms never colocate siblings; the
+unconstrained control does (showing the constraint binds); the price of
+anti-affinity in peak utilization is small; SRA still matches or beats
+local search under the constraint.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e11_replicas(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e11"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e11", rows, "E11 — replica anti-affinity: balance and violations")
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["algorithm"]] = r
+
+    unconstrained_conflicts = 0
+    for instance, algos in by_instance.items():
+        for name in ("local-search", "sra"):
+            assert algos[name]["conflicts"] == 0, f"{instance}/{name}"
+            assert algos[name]["feasible"], f"{instance}/{name}"
+        unconstrained_conflicts += algos["sra-unconstrained"]["conflicts"]
+        # Anti-affinity costs little balance vs the unconstrained control.
+        assert (
+            algos["sra"]["peak_after"]
+            <= algos["sra-unconstrained"]["peak_after"] + 0.05
+        ), instance
+        # SRA at least matches local search under the constraint.
+        assert (
+            algos["sra"]["peak_after"] <= algos["local-search"]["peak_after"] + 0.01
+        ), instance
+    # The constraint must actually bind somewhere, else the experiment
+    # tests nothing.
+    assert unconstrained_conflicts > 0

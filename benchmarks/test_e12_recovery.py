@@ -1,0 +1,36 @@
+"""E12 — failure recovery with exchange machines as spare capacity.
+
+Shape claims: recovery of a tight cluster fails (or overloads) without
+borrowed machines and succeeds with them; recovered peak decreases with
+the budget.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e12_recovery(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e12"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e12", rows, "E12 — machine-failure recovery vs exchange budget")
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["budget_B"]] = r
+
+    any_b0_failure = False
+    for instance, budgets in by_instance.items():
+        assert budgets[0]["orphans"] > 0, instance
+        if not budgets[0]["feasible"]:
+            any_b0_failure = True
+        biggest = max(budgets)
+        assert budgets[biggest]["feasible"], f"{instance}: B={biggest} still infeasible"
+        assert budgets[biggest]["peak_after"] <= 1.0
+        # More spare capacity never makes the recovered peak worse.
+        feas = {b: r for b, r in budgets.items() if r["feasible"]}
+        if len(feas) >= 2:
+            bs = sorted(feas)
+            assert feas[bs[-1]]["peak_after"] <= feas[bs[0]]["peak_after"] + 0.02
+    assert any_b0_failure, "no instance actually needed spare capacity"

@@ -1,0 +1,55 @@
+"""E13 — online rebalancing trajectories (extension).
+
+Shape claims: "always" holds the lowest mean peak; "never" the highest;
+"threshold" sits between on balance while migrating fewer bytes than
+"always".
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.experiments import REGISTRY, is_full_run
+from repro.experiments.ascii_chart import line_chart
+
+
+def test_e13_online(benchmark, save_table, save_figure):
+    rows = benchmark.pedantic(
+        REGISTRY["e13"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e13", rows, "E13 — drift/rebalance trajectories by policy")
+
+    by_policy = defaultdict(list)
+    for r in rows:
+        by_policy[r["policy"]].append(r)
+    assert set(by_policy) == {"never", "threshold", "always"}
+    seed0 = min(r["seed"] for r in rows)
+    save_figure(
+        "e13",
+        line_chart(
+            {
+                policy: [
+                    (r["epoch"], r["peak_after"])
+                    for r in rs
+                    if r["seed"] == seed0
+                ]
+                for policy, rs in by_policy.items()
+            },
+            title="E13 — peak utilization per epoch by policy (seed 0)",
+            x_label="epoch",
+            y_label="peak util",
+        ),
+    )
+
+    mean_peak = {
+        p: float(np.mean([r["peak_after"] for r in rs])) for p, rs in by_policy.items()
+    }
+    total_bytes = {p: max(r["cum_bytes"] for r in rs) for p, rs in by_policy.items()}
+
+    assert mean_peak["always"] <= mean_peak["threshold"] + 1e-9
+    assert mean_peak["threshold"] <= mean_peak["never"] + 1e-9
+    assert mean_peak["never"] - mean_peak["always"] > 0.05  # drift really hurts
+    assert total_bytes["never"] == 0
+    assert 0 < total_bytes["threshold"] <= total_bytes["always"] + 1e-9
+    # The threshold policy skips at least one calm epoch somewhere.
+    assert any(not r["rebalanced"] for r in by_policy["threshold"])

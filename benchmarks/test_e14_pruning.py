@@ -1,0 +1,29 @@
+"""E14 — MaxScore pruning: work savings and latency effect (extension).
+
+Shape claims: multi-term queries save a meaningful fraction of postings
+(savings grow with query length); the cheaper service times translate
+into lower tail latency at the same arrival rate.
+"""
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e14_pruning(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e14"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e14", rows, "E14 — MaxScore vs exhaustive: postings and latency")
+
+    work = [r for r in rows if r["series"] == "work"]
+    latency = {r["strategy"]: r for r in rows if r["series"] == "latency"}
+
+    assert work and set(latency) == {"exhaustive", "maxscore"}
+    multi = [r for r in work if r["query_len"] >= 3]
+    assert multi, "query stream lacked multi-term queries"
+    # Meaningful savings on multi-term queries.
+    assert max(r["savings_pct"] for r in multi) > 15.0
+    # Never pathologically worse on any length bucket.
+    assert all(r["savings_pct"] > -25.0 for r in work)
+    # Serving: cheaper evaluation lowers the tail.
+    assert latency["maxscore"]["p99_ms"] < latency["exhaustive"]["p99_ms"]
+    assert latency["maxscore"]["peak_busy"] < latency["exhaustive"]["peak_busy"]

@@ -1,0 +1,32 @@
+"""E15 — latency through the migration window (extension).
+
+Shape claims: migration derates serving while it runs; the final
+placement improves the tail substantially; the move-frugal λ produces
+fewer moves and a shorter window than the balance-greedy λ.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e15_migration_window(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e15"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e15", rows, "E15 — serving latency before/during/after migration")
+
+    by_variant = defaultdict(dict)
+    for r in rows:
+        by_variant[r["variant"]][r["phase"]] = r
+    assert len(by_variant) == 2
+    for variant, phases in by_variant.items():
+        assert set(phases) == {"before", "during", "after"}
+        assert phases["during"]["p99_ms"] >= phases["before"]["p99_ms"] - 1e-6, variant
+        assert phases["after"]["p99_ms"] < phases["before"]["p99_ms"], variant
+        assert phases["before"]["window_s"] > 0
+
+    greedy = by_variant["balance-greedy λ=0.002"]["before"]
+    frugal = by_variant["move-frugal λ=0.30"]["before"]
+    assert frugal["moves"] < greedy["moves"]
+    assert frugal["window_s"] <= greedy["window_s"] + 1e-9

@@ -1,0 +1,33 @@
+"""E16 — replica routing policies (extension).
+
+Shape claims: load-aware routing has the best tail of the three
+policies at each replication level, and 2× replication with load-aware
+routing beats the 1× control at equal capacity.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e16_routing(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e16"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e16", rows, "E16 — tail latency by replica routing policy")
+
+    by_k = defaultdict(dict)
+    for r in rows:
+        by_k[r["replication"]][r["policy"]] = r
+    assert set(by_k) == {1, 2}
+    for k, policies in by_k.items():
+        assert set(policies) == {"random", "round_robin", "least_loaded"}
+        # Load-aware routing is never beaten by the stateless policies.
+        best_stateless = min(
+            policies["random"]["p99_ms"], policies["round_robin"]["p99_ms"]
+        )
+        assert policies["least_loaded"]["p99_ms"] <= best_stateless * 1.05, k
+    # Replication + smart routing beats the single-copy control.
+    assert (
+        by_k[2]["least_loaded"]["p99_ms"] <= by_k[1]["least_loaded"]["p99_ms"] * 1.05
+    )

@@ -1,0 +1,23 @@
+"""E17 — shared pool across clusters (extension).
+
+Shape claims: every episode is feasible and balance-improving; the pool
+size is invariant across episodes; at least one episode performs a real
+exchange (keeps a lent machine, returns a drained one).
+"""
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e17_pool(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e17"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e17", rows, "E17 — one pool, many clusters: episode audit")
+
+    assert len(rows) >= 4
+    for r in rows:
+        assert r["feasible"], r["cluster"]
+        assert r["peak_after"] < r["peak_before"], r["cluster"]
+        assert r["lent"] == r["returned"] == 2
+        assert r["pool_size_after"] == 4  # invariant inventory
+    assert any(r["exchanged"] > 0 for r in rows), "no episode exchanged machines"

@@ -1,0 +1,50 @@
+"""E18 — tail latency across the diurnal cycle (extension).
+
+Shape claims: before rebalancing, peak-hour p99 is far worse than
+off-peak p99 (the imbalance only bites under load); after rebalancing
+the peak-hour p99 drops by a large factor and the day flattens.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+from repro.experiments.ascii_chart import line_chart
+
+
+def test_e18_diurnal(benchmark, save_table, save_figure):
+    rows = benchmark.pedantic(
+        REGISTRY["e18"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e18", rows, "E18 — latency by time-of-day bucket")
+    save_figure(
+        "e18",
+        line_chart(
+            {
+                label: [
+                    (r["bucket"], r["p99_ms"]) for r in rows if r["placement"] == label
+                ]
+                for label in ("before", "after-sra")
+            },
+            title="E18 — p99 by time-of-day bucket",
+            x_label="bucket",
+            y_label="p99 ms",
+        ),
+    )
+
+    by_label = defaultdict(dict)
+    for r in rows:
+        by_label[r["placement"]][r["bucket"]] = r
+    before, after = by_label["before"], by_label["after-sra"]
+
+    def peak_bucket(d):
+        return max(d.values(), key=lambda r: r["qps"])
+
+    def trough_bucket(d):
+        return min(d.values(), key=lambda r: r["qps"])
+
+    # Traffic really is diurnal.
+    assert peak_bucket(before)["qps"] > 2.0 * trough_bucket(before)["qps"]
+    # The imbalance bites at peak hour.
+    assert peak_bucket(before)["p99_ms"] > 2.0 * trough_bucket(before)["p99_ms"]
+    # Rebalancing fixes the peak hour.
+    assert peak_bucket(after)["p99_ms"] < 0.6 * peak_bucket(before)["p99_ms"]

@@ -1,0 +1,31 @@
+"""E19 — loaner sizing (extension).
+
+Shape claims: all scales produce feasible episodes; bigger loaners never
+balance worse; lending oversized machines under the count policy loses
+pool capacity (the quantified argument for the ``capacity`` policy).
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e19_loaner_sizing(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e19"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e19", rows, "E19 — balance and pool capacity vs loaner size")
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["loaner_scale"]] = r
+    for instance, scales in by_instance.items():
+        assert set(scales) == {0.5, 1.0, 2.0}
+        for r in scales.values():
+            assert r["feasible"], instance
+            assert r["peak_after"] < r["peak_before"]
+        # A 2x loaner is at least as useful as a 0.5x one.
+        assert scales[2.0]["peak_after"] <= scales[0.5]["peak_after"] + 0.01
+        # Lending a 2x machine and getting a ~1x machine back loses pool
+        # capacity whenever the episode exchanges (delta <= 0 always).
+        assert scales[2.0]["pool_capacity_delta"] <= 1e-6

@@ -1,0 +1,24 @@
+"""E1 — instance characteristics (paper Table 1 analogue).
+
+Regenerates the table describing the synthetic and datacenter suites;
+the benchmark time is the cost of instance generation itself.
+"""
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e1_instances(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e1"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e1", rows, "E1 — instance characteristics (Table 1 analogue)")
+
+    assert rows, "suite generated no instances"
+    for r in rows:
+        # Generators must hit their advertised tightness and start imbalanced.
+        assert 0.4 <= r["tightness"] <= 1.0
+        assert r["init_peak"] >= r["tightness"] - 1e-6
+        assert r["shards"] > r["machines"]
+    # Both data sources are present.
+    names = {r["instance"].split("-")[0] for r in rows}
+    assert {"uniform", "zipf", "dc"} <= names

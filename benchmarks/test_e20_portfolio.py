@@ -1,0 +1,31 @@
+"""E20 — portfolio effect at equal budget (extension).
+
+Shape claims: all configurations feasible; the best-of-K portfolio never
+loses meaningfully to the single long run at equal total iterations (and
+usually wins on at least one instance).
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e20_portfolio(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e20"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e20", rows, "E20 — best-of-K portfolio vs one long run")
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["portfolio_K"]] = r
+    wins = 0
+    for instance, ks in by_instance.items():
+        assert set(ks) == {1, 2, 4}
+        for r in ks.values():
+            assert r["feasible"], instance
+        best_portfolio = min(ks[2]["peak_after"], ks[4]["peak_after"])
+        assert best_portfolio <= ks[1]["peak_after"] + 0.01, instance
+        if best_portfolio < ks[1]["peak_after"] - 1e-6:
+            wins += 1
+    assert wins >= 1, "the portfolio never beat the single run anywhere"

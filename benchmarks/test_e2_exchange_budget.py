@@ -1,0 +1,51 @@
+"""E2 — balance vs exchange budget (exchange-budget figure analogue).
+
+Shape claim: borrowing exchange machines never hurts and ordinarily
+helps, with the best budgeted run beating the B=0 run.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.experiments import REGISTRY, is_full_run
+from repro.experiments.ascii_chart import bar_chart
+
+
+def test_e2_exchange_budget(benchmark, save_table, save_figure):
+    rows = benchmark.pedantic(
+        REGISTRY["e2"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e2", rows, "E2 — peak utilization vs exchange budget B (R = B)")
+
+    budgets_all = sorted({r["budget_B"] for r in rows})
+    mean_peak = [
+        float(np.mean([r["peak_after"] for r in rows if r["budget_B"] == b]))
+        for b in budgets_all
+    ]
+    save_figure(
+        "e2",
+        bar_chart(
+            [f"B={b}" for b in budgets_all],
+            mean_peak,
+            title="E2 — mean peak utilization after SRA vs exchange budget",
+        ),
+    )
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["budget_B"]] = r
+    for instance, budgets in by_instance.items():
+        assert 0 in budgets, f"{instance} missing the B=0 reference"
+        base = budgets[0]["peak_after"]
+        assert all(r["feasible"] for r in budgets.values()), instance
+        best_budgeted = min(
+            r["peak_after"] for b, r in budgets.items() if b > 0
+        )
+        # Exchange machines must not hurt (small tolerance for search noise).
+        assert best_budgeted <= base + 0.01, (
+            f"{instance}: best budgeted {best_budgeted:.4f} vs B=0 {base:.4f}"
+        )
+        # And everything improves on the initial placement.
+        for r in budgets.values():
+            assert r["peak_after"] < r["peak_before"]

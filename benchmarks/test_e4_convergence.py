@@ -1,0 +1,48 @@
+"""E4 — LNS convergence (convergence figure analogue).
+
+Shape claims: the best-so-far objective is non-increasing and most of
+the improvement lands in the first quarter of the iteration budget.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+from repro.experiments.ascii_chart import line_chart
+
+
+def test_e4_convergence(benchmark, save_table, save_figure):
+    rows = benchmark.pedantic(
+        REGISTRY["e4"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e4", rows, "E4 — best objective vs iteration (per seed)")
+
+    by_seed = defaultdict(list)
+    for r in rows:
+        by_seed[r["seed"]].append(r)
+    save_figure(
+        "e4",
+        line_chart(
+            {
+                f"seed {seed}": [(r["iteration"], r["best_objective"]) for r in series]
+                for seed, series in by_seed.items()
+            },
+            title="E4 — best objective vs iteration",
+            x_label="iteration",
+            y_label="objective",
+        ),
+    )
+    for seed, series in by_seed.items():
+        series.sort(key=lambda r: r["iteration"])
+        objs = [r["best_objective"] for r in series]
+        assert all(a >= b - 1e-12 for a, b in zip(objs, objs[1:])), f"seed {seed}"
+        total_drop = objs[0] - objs[-1]
+        assert total_drop > 0, f"seed {seed} never improved"
+        quarter = next(
+            r["best_objective"]
+            for r in series
+            if r["iteration"] >= series[-1]["iteration"] // 4
+        )
+        early_drop = objs[0] - quarter
+        assert early_drop >= 0.5 * total_drop, (
+            f"seed {seed}: early drop {early_drop:.4f} of total {total_drop:.4f}"
+        )

@@ -1,0 +1,31 @@
+"""E5 — datacenter snapshots (real-data table analogue).
+
+Shape claims: on every drifted snapshot both algorithms repair the
+overload, SRA matches or beats local search on peak utilization, and the
+exchange contract settles (2 borrowed, 2 returned).
+"""
+
+from collections import defaultdict
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e5_datacenter(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e5"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e5", rows, "E5 — datacenter snapshots: before/after, cost, exchange")
+
+    by_instance = defaultdict(dict)
+    for r in rows:
+        by_instance[r["instance"]][r["algorithm"]] = r
+    for instance, algos in by_instance.items():
+        for name, r in algos.items():
+            assert r["feasible"], f"{instance}/{name}"
+            # Drifted snapshots start overloaded; both must repair that.
+            assert r["peak_before"] > 1.0
+            assert r["peak_after"] <= 1.0
+        sra = algos["sra-b2"]
+        assert sra["peak_after"] <= algos["local-search"]["peak_after"] + 0.01
+        assert sra["borrowed"] == 2 and sra["returned"] == 2
+        assert sra["makespan_s"] > 0

@@ -1,0 +1,27 @@
+"""E6 — runtime scaling (scalability figure analogue).
+
+Shape claim: per-iteration cost grows sub-quadratically with instance
+size (the removal cap bounds repair cost, so the growth is driven by the
+O(m) parts of scoring).
+"""
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e6_scalability(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e6"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e6", rows, "E6 — SRA runtime vs instance size")
+
+    rows = sorted(rows, key=lambda r: r["shards"])
+    assert len(rows) >= 3
+    for r in rows:
+        assert r["ms_per_iter"] > 0
+        assert r["peak_after"] <= 1.0
+    smallest, largest = rows[0], rows[-1]
+    size_ratio = largest["shards"] / smallest["shards"]
+    time_ratio = largest["ms_per_iter"] / smallest["ms_per_iter"]
+    assert time_ratio < size_ratio**2, (
+        f"per-iteration cost grew {time_ratio:.1f}x for a {size_ratio:.1f}x size step"
+    )

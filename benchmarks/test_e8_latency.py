@@ -1,0 +1,25 @@
+"""E8 — serving latency before/after rebalancing (QoS figure analogue).
+
+Shape claims: rebalancing cuts peak machine utilization, and the tail
+latency (p95/p99) of fan-out queries drops with it — by a large factor,
+since queueing delay diverges near saturation.
+"""
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e8_latency(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e8"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e8", rows, "E8 — query latency before/after rebalancing (DES)")
+
+    by_label = {r["placement"]: r for r in rows}
+    before, after = by_label["before"], by_label["after-sra"]
+    assert before["queries"] == after["queries"] > 0
+    assert after["peak_util"] < before["peak_util"]
+    assert after["p99_ms"] < before["p99_ms"]
+    assert after["p95_ms"] < before["p95_ms"]
+    assert after["mean_ms"] < before["mean_ms"]
+    # Near-saturation queueing: the tail improvement is large, not marginal.
+    assert after["p99_ms"] < 0.8 * before["p99_ms"]

@@ -1,0 +1,30 @@
+"""E9 — SRA vs the exact IP optimum (optimality-gap table analogue).
+
+Shape claim ("approximate the optimal solution"): on exactly solvable
+instances, SRA's peak utilization is within a few percent of the MILP
+optimum, at a fraction of the solve time.
+"""
+
+import math
+
+from repro.experiments import REGISTRY, is_full_run
+
+
+def test_e9_optimality(benchmark, save_table):
+    rows = benchmark.pedantic(
+        REGISTRY["e9"], kwargs={"fast": not is_full_run()}, rounds=1, iterations=1
+    )
+    save_table("e9", rows, "E9 — SRA vs exact MILP optimum")
+
+    assert rows
+    gaps = []
+    for r in rows:
+        assert r["milp_status"] in ("optimal", "timeout"), r["instance"]
+        # SRA can never beat a proven optimum.
+        if r["milp_status"] == "optimal":
+            assert r["sra_peak"] >= r["milp_peak"] - 1e-6, r["instance"]
+        if not math.isnan(r["gap_pct"]):
+            gaps.append(r["gap_pct"])
+    assert gaps
+    assert max(gaps) < 10.0, f"worst gap {max(gaps):.2f}%"
+    assert sum(gaps) / len(gaps) < 5.0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A week in the life of a search cluster: drift, rebalance, repeat.
+
+Simulates eight epochs of query-popularity drift over a 16-machine
+cluster and compares three operational policies:
+
+* never rebalance        — watch the peak walk past 100%;
+* rebalance on threshold — act only when the peak crosses 92%;
+* rebalance every epoch  — best balance, most bytes moved.
+
+Each rebalancing episode borrows one exchange machine and returns one,
+per the paper's operational model.
+
+Run:  python examples/online_drift.py
+"""
+
+from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.experiments.harness import print_table
+from repro.online import OnlineSimulator, PopularityDrift
+from repro.workloads import SyntheticConfig, generate
+
+
+def main() -> None:
+    state = generate(
+        SyntheticConfig(
+            num_machines=16,
+            shards_per_machine=6,
+            target_utilization=0.75,
+            placement_skew=0.0,
+            max_shard_fraction=0.35,
+            seed=0,
+        )
+    )
+    print(f"initial peak: {state.peak_utilization():.3f} at 75% tightness\n")
+
+    rows = []
+    for policy, threshold in (("never", 1.0), ("threshold", 0.92), ("always", 1.0)):
+        sim = OnlineSimulator(
+            rebalancer=SRA(SRAConfig(alns=AlnsConfig(iterations=500, seed=1))),
+            drift=PopularityDrift(drift=0.15, target_utilization=0.75, seed=100),
+            policy=policy,  # type: ignore[arg-type]
+            threshold=threshold,
+            exchange_budget=1,
+        )
+        reports = sim.run(state, 8)
+        worst = max(r.peak_after for r in reports)
+        mean = sum(r.peak_after for r in reports) / len(reports)
+        rows.append(
+            {
+                "policy": policy,
+                "episodes": sum(r.rebalanced for r in reports),
+                "mean_peak": mean,
+                "worst_peak": worst,
+                "total_moves": sum(r.moves for r in reports),
+                "bytes_moved": reports[-1].cumulative_bytes,
+            }
+        )
+    print_table(rows, title="eight epochs of drift under three policies")
+    thr = next(r for r in rows if r["policy"] == "threshold")
+    alw = next(r for r in rows if r["policy"] == "always")
+    if thr["bytes_moved"] < alw["bytes_moved"]:
+        print(
+            "\nthreshold bought most of 'always''s balance for "
+            f"{100 * thr['bytes_moved'] / alw['bytes_moved']:.0f}% of the "
+            "migration traffic — the operational sweet spot."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""One spare-machine pool, many clusters.
+
+A datacenter operator holds four spare machines.  Three production
+clusters rebalance against the pool in turn: each borrows two machines,
+runs SRA, and returns two *vacant* machines — often drained in-service
+machines rather than the ones it borrowed.  The audit trail shows the
+resource exchange at fleet scope: the pool's size never changes, while
+every cluster gets balanced.
+
+Run:  python examples/shared_pool.py
+"""
+
+from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.experiments.harness import print_table
+from repro.pool import MachinePool, rebalance_with_pool
+from repro.workloads import SyntheticConfig, generate, make_exchange_machines
+
+
+def main() -> None:
+    template = generate(SyntheticConfig(num_machines=16, shards_per_machine=6, seed=0))
+    pool = MachinePool(make_exchange_machines(template, 4))
+    print(f"pool opens with {pool.size} spare machines\n")
+
+    rows = []
+    for c in range(3):
+        state = generate(
+            SyntheticConfig(
+                num_machines=16,
+                shards_per_machine=6,
+                target_utilization=0.85,
+                placement_skew=0.5,
+                max_shard_fraction=0.35,
+                seed=c,
+            )
+        )
+        rebalance_with_pool(
+            pool,
+            state,
+            SRA(SRAConfig(alns=AlnsConfig(iterations=800, seed=1))),
+            budget=2,
+            label=f"cluster-{c}",
+        )
+        ep = pool.history[-1]
+        rows.append(
+            {
+                "cluster": ep.cluster_label,
+                "lent": ep.lent,
+                "returned": ep.returned,
+                "exchanged": ep.exchanged,
+                "peak_before": ep.peak_before,
+                "peak_after": ep.peak_after,
+                "pool_after": ep.pool_size_after,
+            }
+        )
+    print_table(rows, title="pool episodes")
+    exchanged = sum(r["exchanged"] for r in rows)
+    print(
+        f"\nacross 3 episodes the pool swapped {exchanged} of its machines for "
+        "drained in-service machines — same inventory size, fresher clusters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip lacks the `wheel` package.
+
+`pip install -e .` falls back to this legacy path when PEP 660 editable
+builds are unavailable offline.
+"""
+from setuptools import setup
+
+setup()

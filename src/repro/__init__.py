@@ -1,0 +1,46 @@
+"""Reproduction of "Improving Load Balance via Resource Exchange in
+Large-Scale Search Engines" (Duan, Li, Marbach, Wang, Liu — ICPP 2020).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.cluster`    — machines, shards, placement state, exchange
+* :mod:`repro.workloads`  — synthetic and datacenter instance generators
+* :mod:`repro.model`      — the IP formulation and exact MILP solver
+* :mod:`repro.migration`  — transient-safe migration planning
+* :mod:`repro.algorithms` — SRA (ALNS) and baseline rebalancers
+* :mod:`repro.engine`     — inverted-index search engine substrate
+* :mod:`repro.simulate`   — query-serving discrete-event simulation
+* :mod:`repro.metrics`    — balance and migration metrics
+* :mod:`repro.core`       — the one-call public facade
+"""
+
+from repro.algorithms import (
+    GreedyRebalancer,
+    LocalSearchRebalancer,
+    NoopRebalancer,
+    RandomRestartRebalancer,
+    RebalanceResult,
+    SRA,
+    SRAConfig,
+)
+from repro.cluster import ClusterState, ExchangeLedger, Machine, Shard
+from repro.core import RebalanceReport, ResourceExchangeRebalancer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterState",
+    "Machine",
+    "Shard",
+    "ExchangeLedger",
+    "SRA",
+    "SRAConfig",
+    "RebalanceResult",
+    "NoopRebalancer",
+    "GreedyRebalancer",
+    "LocalSearchRebalancer",
+    "RandomRestartRebalancer",
+    "ResourceExchangeRebalancer",
+    "RebalanceReport",
+    "__version__",
+]

@@ -1,0 +1,373 @@
+"""Baseline rebalancers.
+
+These are the comparison points of experiment E3/E5:
+
+* :class:`NoopRebalancer` — the "before" row.
+* :class:`GreedyRebalancer` — classic drain-the-hottest-machine greedy.
+* :class:`LocalSearchRebalancer` — move/swap steepest local search, the
+  stand-in for the state-of-the-art method the paper compares against
+  (see DESIGN.md §1.4 for the justification).
+* :class:`RandomRestartRebalancer` — randomized-rounding control.
+
+All baselines are *transient-safe*: they only take steps that are
+directly executable in the current cluster (the destination can hold the
+in-flight copy).  This is what an operator without exchange machines must
+do, and it is precisely the handicap resource exchange removes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterState, ExchangeLedger
+from repro.migration import StagingPlanner, WaveScheduler
+from repro.algorithms.base import RebalanceResult, Rebalancer, finalize_result
+
+__all__ = [
+    "NoopRebalancer",
+    "GreedyRebalancer",
+    "LocalSearchRebalancer",
+    "RandomRestartRebalancer",
+]
+
+
+class NoopRebalancer(Rebalancer):
+    """Propose no change (the 'before' measurement)."""
+
+    name = "noop"
+
+    def rebalance(
+        self, state: ClusterState, ledger: ExchangeLedger | None = None
+    ) -> RebalanceResult:
+        started = time.perf_counter()
+        return finalize_result(
+            self.name,
+            state,
+            state.assignment,
+            ledger=ledger,
+            planner=StagingPlanner(),
+            started_at=started,
+        )
+
+
+class GreedyRebalancer(Rebalancer):
+    """Drain the hottest machine while it improves the peak.
+
+    Each step moves the largest shard of the peak machine to the machine
+    that minimizes the resulting peak utilization, provided the move is
+    directly executable (destination headroom covers the in-flight copy)
+    and strictly improves the cluster peak.  Terminates when no such move
+    exists.
+    """
+
+    name = "greedy"
+
+    def __init__(self, *, max_moves: int | None = None) -> None:
+        self.max_moves = max_moves
+
+    def rebalance(
+        self, state: ClusterState, ledger: ExchangeLedger | None = None
+    ) -> RebalanceResult:
+        started = time.perf_counter()
+        work = state.copy()
+        budget = self.max_moves if self.max_moves is not None else 4 * state.num_shards
+        for _ in range(budget):
+            if not self._improve_once(work):
+                break
+        return finalize_result(
+            self.name,
+            state,
+            work.assignment,
+            ledger=ledger,
+            planner=StagingPlanner(),
+            started_at=started,
+        )
+
+    @staticmethod
+    def _improve_once(work: ClusterState) -> bool:
+        util = work.loads / work.capacity
+        machine_peak = util.max(axis=1)
+        hottest = int(np.argmax(machine_peak))
+        peak = machine_peak[hottest]
+        members = work.machine_shards(hottest)
+        if members.size == 0:
+            return False
+        headroom = work.capacity - work.loads
+        # Try the machine's shards from largest demand down.
+        for j in members[np.argsort(-work.demand[members].sum(axis=1))]:
+            extra = work.demand[j]
+            fits = np.all(headroom >= extra - 1e-12, axis=1)
+            fits[hottest] = False
+            peers = work.replica_peer_machines(int(j))
+            if peers.size:
+                fits[peers] = False
+            candidates = np.flatnonzero(fits)
+            if candidates.size == 0:
+                continue
+            # Peak of each candidate after receiving the shard.
+            cand_peak = (
+                (work.loads[candidates] + extra) / work.capacity[candidates]
+            ).max(axis=1)
+            best = int(candidates[np.argmin(cand_peak)])
+            # Global peak after the move must strictly improve.
+            others = np.delete(machine_peak, hottest)
+            src_after = float(
+                ((work.loads[hottest] - extra) / work.capacity[hottest]).max()
+            )
+            new_peak = max(
+                float(cand_peak.min()),
+                src_after,
+                float(others.max(initial=0.0)) if others.size else 0.0,
+            )
+            if new_peak < peak - 1e-12:
+                work.move(int(j), best)
+                return True
+        return False
+
+
+class LocalSearchRebalancer(Rebalancer):
+    """Steepest-descent local search over single moves and pair swaps.
+
+    Every accepted step is directly executable:
+
+    * a **move** requires the destination to hold the in-flight copy;
+    * a **swap** requires an execution order (one shard parks on its
+      destination first) in which both hops are individually executable.
+
+    Search runs first-improvement passes over a randomized neighbourhood
+    ordering until a pass yields no improvement or the step budget is
+    exhausted.  The objective is cluster peak utilization, tie-broken by
+    the sum of squared machine peaks (same landscape SRA uses).
+    """
+
+    name = "local-search"
+
+    def __init__(
+        self,
+        *,
+        max_steps: int = 10_000,
+        seed: int = 0,
+        neighborhood_sample: int = 64,
+    ) -> None:
+        if max_steps <= 0:
+            raise ValueError(f"max_steps must be > 0, got {max_steps}")
+        if neighborhood_sample <= 0:
+            raise ValueError("neighborhood_sample must be > 0")
+        self.max_steps = max_steps
+        self.seed = seed
+        self.neighborhood_sample = neighborhood_sample
+
+    # ------------------------------------------------------------------ API
+    def rebalance(
+        self, state: ClusterState, ledger: ExchangeLedger | None = None
+    ) -> RebalanceResult:
+        started = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        work = state.copy()
+        history = [work.peak_utilization()]
+        steps = self.improve_in_place(work, rng, history=history)
+        return finalize_result(
+            self.name,
+            state,
+            work.assignment,
+            ledger=ledger,
+            planner=StagingPlanner(),
+            started_at=started,
+            iterations=steps,
+            history=history,
+        )
+
+    def improve_in_place(
+        self,
+        work: ClusterState,
+        rng: np.random.Generator,
+        *,
+        history: list[float] | None = None,
+        max_steps: int | None = None,
+    ) -> int:
+        """Run the move/swap descent on *work* in place; returns step count.
+
+        Blocked machines are never chosen as targets, so the descent is
+        also usable as SRA's polish phase without breaking the
+        designated-return contract.
+        """
+        budget = self.max_steps if max_steps is None else max_steps
+        steps = 0
+        improved = True
+        while improved and steps < budget:
+            improved = False
+            if self._try_move(work, rng) or self._try_swap(work, rng):
+                improved = True
+                steps += 1
+                if history is not None:
+                    history.append(work.peak_utilization())
+        return steps
+
+    # ------------------------------------------------------------- internal
+    @staticmethod
+    def _score(machine_peak: np.ndarray) -> tuple[float, float]:
+        return float(machine_peak.max()), float(np.sum(machine_peak**2))
+
+    def _try_move(self, work: ClusterState, rng: np.random.Generator) -> bool:
+        util = work.loads / work.capacity
+        machine_peak = util.max(axis=1)
+        current = self._score(machine_peak)
+        hottest = int(np.argmax(machine_peak))
+        members = work.machine_shards(hottest)
+        if members.size == 0:
+            return False
+        sample = members
+        if sample.size > self.neighborhood_sample:
+            sample = rng.choice(members, size=self.neighborhood_sample, replace=False)
+        headroom = work.capacity - work.loads
+        for j in sample:
+            extra = work.demand[j]
+            fits = np.all(headroom >= extra - 1e-12, axis=1)
+            fits[hottest] = False
+            fits[work.blocked_mask] = False
+            peers = work.replica_peer_machines(int(j))
+            if peers.size:
+                fits[peers] = False
+            for i in np.flatnonzero(fits):
+                new_peak = machine_peak.copy()
+                new_peak[hottest] = ((work.loads[hottest] - extra) / work.capacity[hottest]).max()
+                new_peak[i] = ((work.loads[i] + extra) / work.capacity[i]).max()
+                if self._score(new_peak) < current:
+                    work.move(int(j), int(i))
+                    return True
+        return False
+
+    def _try_swap(self, work: ClusterState, rng: np.random.Generator) -> bool:
+        util = work.loads / work.capacity
+        machine_peak = util.max(axis=1)
+        current = self._score(machine_peak)
+        hottest = int(np.argmax(machine_peak))
+        hot_members = work.machine_shards(hottest)
+        if hot_members.size == 0:
+            return False
+        coolest_order = np.argsort(machine_peak)
+        for i in coolest_order[: min(8, work.num_machines)]:
+            i = int(i)
+            if i == hottest:
+                continue
+            cool_members = work.machine_shards(i)
+            if cool_members.size == 0:
+                continue
+            hs = hot_members
+            cs = cool_members
+            if hs.size > self.neighborhood_sample:
+                hs = rng.choice(hs, size=self.neighborhood_sample, replace=False)
+            if cs.size > self.neighborhood_sample:
+                cs = rng.choice(cs, size=self.neighborhood_sample, replace=False)
+            for j1 in hs:
+                for j2 in cs:
+                    if self._swap_if_better(
+                        work, int(j1), hottest, int(j2), i, machine_peak, current
+                    ):
+                        return True
+        return False
+
+    def _swap_if_better(
+        self,
+        work: ClusterState,
+        j1: int,
+        m1: int,
+        j2: int,
+        m2: int,
+        machine_peak: np.ndarray,
+        current: tuple[float, float],
+    ) -> bool:
+        d1, d2 = work.demand[j1], work.demand[j2]
+        # Replica anti-affinity after the swap: j1 lands on m2, j2 on m1.
+        peers1 = work.replica_peers(j1)
+        if peers1.size and np.any(
+            (work.assignment_view()[peers1] == m2) & (peers1 != j2)
+        ):
+            return False
+        peers2 = work.replica_peers(j2)
+        if peers2.size and np.any(
+            (work.assignment_view()[peers2] == m1) & (peers2 != j1)
+        ):
+            return False
+        load1 = work.loads[m1] - d1 + d2
+        load2 = work.loads[m2] - d2 + d1
+        if np.any(load1 > work.capacity[m1] + 1e-12) or np.any(
+            load2 > work.capacity[m2] + 1e-12
+        ):
+            return False
+        # Executability: one order must work. Order A (j1 first): m2 must
+        # hold its load + in-flight j1; then j2 leaves, j1 lands. Order B
+        # symmetric.
+        order_a = np.all(work.loads[m2] + d1 <= work.capacity[m2] + 1e-12)
+        order_b = np.all(work.loads[m1] + d2 <= work.capacity[m1] + 1e-12)
+        if not (order_a or order_b):
+            return False
+        new_peak = machine_peak.copy()
+        new_peak[m1] = (load1 / work.capacity[m1]).max()
+        new_peak[m2] = (load2 / work.capacity[m2]).max()
+        if self._score(new_peak) < current:
+            work.move(j1, m2)
+            work.move(j2, m1)
+            return True
+        return False
+
+
+class RandomRestartRebalancer(Rebalancer):
+    """Randomized control: k random greedy reconstructions, keep the best.
+
+    Shards are shuffled and re-placed best-fit (minimizing post-insert
+    peak) from scratch; the best of ``restarts`` attempts is proposed.
+    Ignores move costs entirely, so it bounds what *any* amount of
+    migration could achieve with a naive constructor.
+    """
+
+    name = "random-restart"
+
+    def __init__(self, *, restarts: int = 8, seed: int = 0) -> None:
+        if restarts <= 0:
+            raise ValueError(f"restarts must be > 0, got {restarts}")
+        self.restarts = restarts
+        self.seed = seed
+
+    def rebalance(
+        self, state: ClusterState, ledger: ExchangeLedger | None = None
+    ) -> RebalanceResult:
+        started = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        best_assign = state.assignment
+        best_peak = state.peak_utilization()
+        for _ in range(self.restarts):
+            assign = self._construct(state, rng)
+            if assign is None:
+                continue
+            trial = state.copy()
+            trial.apply_assignment(assign)
+            peak = trial.peak_utilization()
+            if peak < best_peak:
+                best_peak = peak
+                best_assign = assign
+        return finalize_result(
+            self.name,
+            state,
+            best_assign,
+            ledger=ledger,
+            planner=StagingPlanner(),
+            started_at=started,
+            iterations=self.restarts,
+        )
+
+    @staticmethod
+    def _construct(state: ClusterState, rng: np.random.Generator) -> np.ndarray | None:
+        loads = np.zeros_like(state.loads)
+        assign = np.empty(state.num_shards, dtype=np.int64)
+        for j in rng.permutation(state.num_shards):
+            extra = state.demand[j]
+            peak_after = ((loads + extra) / state.capacity).max(axis=1)
+            i = int(np.argmin(peak_after))
+            if np.any(loads[i] + extra > state.capacity[i] + 1e-12):
+                return None  # cannot place within capacity
+            assign[j] = i
+            loads[i] += extra
+        return assign

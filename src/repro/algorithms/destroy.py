@@ -1,0 +1,180 @@
+"""Destroy operators for the LNS.
+
+A destroy operator removes a set of shards from the working state (they
+become unassigned); the paired repair operator reinserts them.  Each
+operator encodes one intuition about where the current assignment is
+wrong:
+
+* :func:`random_removal` — diversification.
+* :func:`worst_machine_removal` — the peak machine is by definition part
+  of the problem; rip shards off it.
+* :func:`shaw_removal` — related shards (similar demand shape) are likely
+  to be mutually exchangeable; removing a related group lets the repair
+  re-pack them jointly.
+* :func:`vacancy_removal` — empty the in-service machine that is closest
+  to vacant, minting a returnable machine (the operator that implements
+  the exchange semantics inside the search; ablated in E10).
+
+Every operator has the uniform signature
+``op(state, rng, quantity) -> list[int]`` and leaves removed shards
+unassigned in *state*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.cluster import ClusterState
+
+__all__ = [
+    "DestroyOperator",
+    "random_removal",
+    "worst_machine_removal",
+    "shaw_removal",
+    "vacancy_removal",
+    "exchange_swap_removal",
+    "DEFAULT_DESTROY_OPS",
+]
+
+
+class DestroyOperator(Protocol):
+    """Signature of a destroy operator."""
+
+    __name__: str
+
+    def __call__(
+        self, state: ClusterState, rng: np.random.Generator, quantity: int
+    ) -> list[int]: ...
+
+
+def _remove(state: ClusterState, shard_ids: np.ndarray | list[int]) -> list[int]:
+    out = [int(j) for j in shard_ids]
+    for j in out:
+        state.unassign(j)
+    return out
+
+
+def random_removal(
+    state: ClusterState, rng: np.random.Generator, quantity: int
+) -> list[int]:
+    """Remove *quantity* uniformly random assigned shards."""
+    assigned = np.flatnonzero(state.assignment_view() >= 0)
+    if assigned.size == 0:
+        return []
+    take = min(quantity, assigned.size)
+    return _remove(state, rng.choice(assigned, size=take, replace=False))
+
+
+def worst_machine_removal(
+    state: ClusterState, rng: np.random.Generator, quantity: int
+) -> list[int]:
+    """Remove the largest shards from the highest-peak machines.
+
+    Walks machines in decreasing peak utilization, removing each one's
+    largest shards, until *quantity* shards are collected.
+    """
+    order = np.argsort(-state.machine_peak_utilization())
+    chosen: list[int] = []
+    for i in order:
+        members = state.machine_shards(int(i))
+        if members.size == 0:
+            continue
+        members = members[np.argsort(-state.demand[members].sum(axis=1))]
+        room = quantity - len(chosen)
+        chosen.extend(int(j) for j in members[:room])
+        if len(chosen) >= quantity:
+            break
+    return _remove(state, chosen)
+
+
+def shaw_removal(
+    state: ClusterState, rng: np.random.Generator, quantity: int
+) -> list[int]:
+    """Remove a seed shard and its most similar peers (Shaw relatedness).
+
+    Similarity is the L1 distance between normalized demand vectors;
+    related shards are interchangeable in a packing, so re-inserting them
+    together lets the repair shuffle them across machines.
+    """
+    assigned = np.flatnonzero(state.assignment_view() >= 0)
+    if assigned.size == 0:
+        return []
+    seed = int(rng.choice(assigned))
+    norm = state.demand / np.maximum(state.demand.max(axis=0, keepdims=True), 1e-12)
+    dist = np.abs(norm[assigned] - norm[seed]).sum(axis=1)
+    take = min(quantity, assigned.size)
+    nearest = assigned[np.argsort(dist)][:take]
+    return _remove(state, nearest)
+
+
+def vacancy_removal(
+    state: ClusterState, rng: np.random.Generator, quantity: int
+) -> list[int]:
+    """Empty the non-vacant machine with the least total demand.
+
+    All of its shards are removed (up to *quantity*; if the machine holds
+    more, its smallest shards stay, which still usually leads the repair
+    to finish the job next round).  Prefers in-service machines over
+    borrowed ones: emptying an in-service machine is what enables the
+    exchange to return it.
+    """
+    counts = state.shard_counts()
+    occupied = np.flatnonzero(counts > 0)
+    if occupied.size == 0:
+        return []
+    # Prefer in-service machines, then least loaded (L1 of utilization).
+    load_score = (state.loads[occupied] / state.capacity[occupied]).sum(axis=1)
+    is_exchange = state.exchange_mask[occupied]
+    order = np.lexsort((load_score, is_exchange))
+    target = int(occupied[order[0]])
+    members = state.machine_shards(target)
+    # Largest first so a partial removal still drains most of the load.
+    members = members[np.argsort(-state.demand[members].sum(axis=1))]
+    return _remove(state, members[:quantity])
+
+
+def exchange_swap_removal(
+    state: ClusterState, rng: np.random.Generator, quantity: int
+) -> list[int]:
+    """Swap which machine is *designated for return*.
+
+    SRA keeps ``R`` machines blocked (empty, to be handed back).  This
+    operator unblocks a random blocked machine and blocks the open
+    machine with the least load instead, removing all of that machine's
+    shards so the repair can re-pack them — the move that lets the search
+    *exchange* a fresh borrowed machine for a drained in-service one.
+
+    No-op (empty removal) when nothing is blocked.  ``quantity`` is
+    ignored: correctness requires removing every shard of the newly
+    blocked machine.
+    """
+    blocked = np.flatnonzero(state.blocked_mask & ~state.offline_mask)
+    if blocked.size == 0:
+        return []
+    counts = state.shard_counts()
+    open_machines = np.flatnonzero(~state.blocked_mask)
+    # Candidate to close: open machine with least utilization mass
+    # (cheapest to drain).  Vacant open machines are ideal.
+    score = (state.loads[open_machines] / state.capacity[open_machines]).sum(axis=1)
+    close = int(open_machines[np.argmin(score)])
+    release = int(rng.choice(blocked))
+    if close == release:
+        return []
+    members = [int(j) for j in state.machine_shards(close)]
+    for j in members:
+        state.unassign(j)
+    state.unblock_machine(release)
+    state.block_machine(close)
+    return members
+
+
+#: Default operator portfolio of SRA.
+DEFAULT_DESTROY_OPS: tuple[DestroyOperator, ...] = (
+    random_removal,
+    worst_machine_removal,
+    shaw_removal,
+    vacancy_removal,
+    exchange_swap_removal,
+)

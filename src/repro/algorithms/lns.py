@@ -1,0 +1,256 @@
+"""Generic adaptive large neighborhood search (ALNS) engine.
+
+Ropke & Pisinger-style ALNS: at each iteration a (destroy, repair) pair
+is drawn by roulette wheel over adaptive weights, applied to a copy-free
+working state, and the candidate is accepted by a simulated-annealing
+criterion.  Operator weights are refreshed every ``segment_length``
+iterations from the scores the operators earned (new global best >
+improvement > accepted).
+
+The engine is algorithm-agnostic: SRA supplies the operators, objective
+and the *best filter* (the hook that enforces migration schedulability
+and the exchange contract before a candidate may become the incumbent
+best — the feasibility coupling of DESIGN.md §1.2).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._validation import check_fraction, check_positive
+from repro.cluster import ClusterState
+from repro.algorithms.destroy import DestroyOperator
+from repro.algorithms.repair import RepairOperator
+
+__all__ = ["AlnsConfig", "AlnsOutcome", "AlnsEngine"]
+
+
+@dataclass(frozen=True)
+class AlnsConfig:
+    """ALNS hyper-parameters.
+
+    Attributes
+    ----------
+    iterations:
+        Destroy/repair rounds.
+    time_limit:
+        Optional wall-clock cap in seconds (None = iterations only).
+    removal_fraction_min / removal_fraction_max:
+        Bounds of the per-iteration removal quantity, as a fraction of the
+        shard count (quantity is drawn uniformly in between, ≥ 1).
+    start_temperature_ratio:
+        SA start temperature as a fraction of the initial objective — a
+        candidate this much worse is accepted with probability ``e⁻¹``.
+    cooling:
+        Geometric cooling factor per iteration.
+    segment_length:
+        Iterations per adaptive-weight segment.
+    reaction:
+        Weight update smoothing in [0, 1] (1 = replace, 0 = frozen).
+    score_best / score_improve / score_accept:
+        Operator scores for finding a new global best / improving the
+        current / being accepted.
+    seed:
+        RNG seed.
+    """
+
+    iterations: int = 2500
+    time_limit: float | None = None
+    removal_fraction_min: float = 0.05
+    removal_fraction_max: float = 0.25
+    #: Absolute cap on the removal quantity.  On large instances a 25%
+    #: removal is a near-rebuild: slow and unlikely to be accepted; the
+    #: cap keeps per-iteration cost bounded so big clusters get many
+    #: iterations instead of few huge ones.
+    removal_cap: int = 100
+    start_temperature_ratio: float = 0.01
+    cooling: float = 0.996
+    segment_length: int = 100
+    reaction: float = 0.4
+    score_best: float = 12.0
+    score_improve: float = 4.0
+    score_accept: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("iterations", self.iterations)
+        if self.time_limit is not None:
+            check_positive("time_limit", self.time_limit)
+        check_fraction("removal_fraction_min", self.removal_fraction_min)
+        check_fraction("removal_fraction_max", self.removal_fraction_max)
+        if self.removal_fraction_min > self.removal_fraction_max:
+            raise ValueError("removal_fraction_min must be <= removal_fraction_max")
+        check_positive("removal_cap", self.removal_cap)
+        check_positive("start_temperature_ratio", self.start_temperature_ratio)
+        if not 0.0 < self.cooling <= 1.0:
+            raise ValueError(f"cooling must be in (0, 1], got {self.cooling}")
+        check_positive("segment_length", self.segment_length)
+        check_fraction("reaction", self.reaction)
+
+
+@dataclass
+class AlnsOutcome:
+    """What a search run produced.
+
+    ``best_assignment`` is None when no candidate ever passed the best
+    filter (e.g. the vacancy contract was unsatisfiable).
+    """
+
+    best_assignment: np.ndarray | None
+    best_objective: float
+    iterations: int
+    history: list[float]
+    operator_weights: dict[str, float]
+    accepted: int
+    rejected_by_filter: int
+
+
+class AlnsEngine:
+    """Reusable ALNS driver (see module docstring)."""
+
+    def __init__(
+        self,
+        config: AlnsConfig,
+        destroy_ops: Sequence[DestroyOperator],
+        repair_ops: Sequence[RepairOperator],
+    ) -> None:
+        if not destroy_ops or not repair_ops:
+            raise ValueError("need at least one destroy and one repair operator")
+        self.config = config
+        self.destroy_ops = list(destroy_ops)
+        self.repair_ops = list(repair_ops)
+
+    def run(
+        self,
+        state: ClusterState,
+        objective: Callable[[ClusterState], float],
+        *,
+        best_filter: Callable[[ClusterState], bool] | None = None,
+        initial_is_valid_best: bool = True,
+    ) -> AlnsOutcome:
+        """Search from *state* (not mutated).
+
+        Parameters
+        ----------
+        objective:
+            Callable scoring a state (lower better).  Penalty terms may
+            make transiently infeasible states comparable.
+        best_filter:
+            Called when a candidate would become the new global best;
+            returning False vetoes it (it may still be accepted as the
+            *current* state, preserving search mobility).
+        initial_is_valid_best:
+            Whether the starting assignment is an acceptable answer
+            (False when e.g. the vacancy contract is not yet satisfied).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        current = state.copy()
+        cur_obj = float(objective(current))
+
+        best_assignment: np.ndarray | None = None
+        best_obj = math.inf
+        if initial_is_valid_best and (best_filter is None or best_filter(current)):
+            best_assignment = current.assignment
+            best_obj = cur_obj
+
+        n = state.num_shards
+        q_min = max(1, min(int(cfg.removal_fraction_min * n), cfg.removal_cap))
+        q_max = max(q_min, min(int(cfg.removal_fraction_max * n), cfg.removal_cap))
+
+        d_weights = np.ones(len(self.destroy_ops))
+        r_weights = np.ones(len(self.repair_ops))
+        d_scores = np.zeros_like(d_weights)
+        r_scores = np.zeros_like(r_weights)
+        d_uses = np.zeros_like(d_weights)
+        r_uses = np.zeros_like(r_weights)
+
+        temperature = max(cur_obj, 1e-6) * cfg.start_temperature_ratio
+        history: list[float] = [cur_obj]
+        accepted = 0
+        vetoed = 0
+        started = time.perf_counter()
+        it = 0
+
+        for it in range(1, cfg.iterations + 1):
+            if cfg.time_limit is not None and time.perf_counter() - started > cfg.time_limit:
+                break
+            di = _roulette(rng, d_weights)
+            ri = _roulette(rng, r_weights)
+            d_uses[di] += 1
+            r_uses[ri] += 1
+
+            candidate = current.copy()
+            q = int(rng.integers(q_min, q_max + 1))
+            removed = self.destroy_ops[di](candidate, rng, q)
+            self.repair_ops[ri](candidate, rng, removed)
+            cand_obj = float(objective(candidate))
+
+            score = 0.0
+            if cand_obj < best_obj - 1e-12:
+                if best_filter is None or best_filter(candidate):
+                    best_assignment = candidate.assignment
+                    best_obj = cand_obj
+                    score = cfg.score_best
+                else:
+                    vetoed += 1
+            if score == 0.0 and cand_obj < cur_obj - 1e-12:
+                score = cfg.score_improve
+
+            accept = cand_obj <= cur_obj or rng.random() < math.exp(
+                -(cand_obj - cur_obj) / max(temperature, 1e-12)
+            )
+            if accept:
+                current = candidate
+                cur_obj = cand_obj
+                accepted += 1
+                if score == 0.0:
+                    score = cfg.score_accept
+            d_scores[di] += score
+            r_scores[ri] += score
+
+            temperature *= cfg.cooling
+            history.append(cur_obj)
+
+            if it % cfg.segment_length == 0:
+                d_weights = _update_weights(d_weights, d_scores, d_uses, cfg.reaction)
+                r_weights = _update_weights(r_weights, r_scores, r_uses, cfg.reaction)
+                d_scores[:] = 0
+                r_scores[:] = 0
+                d_uses[:] = 0
+                r_uses[:] = 0
+
+        weights = {
+            f"destroy:{op.__name__}": float(w)
+            for op, w in zip(self.destroy_ops, d_weights)
+        }
+        weights.update(
+            {f"repair:{op.__name__}": float(w) for op, w in zip(self.repair_ops, r_weights)}
+        )
+        return AlnsOutcome(
+            best_assignment=best_assignment,
+            best_objective=best_obj,
+            iterations=it,
+            history=history,
+            operator_weights=weights,
+            accepted=accepted,
+            rejected_by_filter=vetoed,
+        )
+
+
+def _roulette(rng: np.random.Generator, weights: np.ndarray) -> int:
+    p = weights / weights.sum()
+    return int(rng.choice(len(weights), p=p))
+
+
+def _update_weights(
+    weights: np.ndarray, scores: np.ndarray, uses: np.ndarray, reaction: float
+) -> np.ndarray:
+    observed = np.divide(scores, np.maximum(uses, 1.0))
+    new = (1.0 - reaction) * weights + reaction * observed
+    return np.maximum(new, 0.05)  # keep every operator alive

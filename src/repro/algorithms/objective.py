@@ -1,0 +1,137 @@
+"""The search objective.
+
+The IP model's objective (peak utilization + move cost) is exact but flat:
+many assignments share the same peak, giving local search no gradient.
+The search objective therefore adds a small smoothing term (mean squared
+per-machine peak utilization) and penalty terms that let the LNS walk
+through mildly infeasible states while being pushed firmly back:
+
+``value = peak
+        + smooth_weight   · mean_i(peak_util_i²)
+        + move_penalty    · moved_bytes / total_bytes
+        + overload_penalty· Σ_i,k relu(load−cap)/cap
+        + vacancy_penalty · max(0, R − #vacant)``
+
+With default weights the peak term dominates; the smoothing term only
+orders states with equal peaks, and both penalties are large enough that
+no feasible state is ever beaten by an infeasible one in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_non_negative
+from repro.cluster import ClusterState
+
+__all__ = ["ObjectiveWeights", "Objective"]
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Weights of the search objective (see module docstring)."""
+
+    move_penalty: float = 0.002
+    smooth_weight: float = 0.05
+    overload_penalty: float = 10.0
+    vacancy_penalty: float = 2.0
+    #: Penalty per (machine, logical shard) replica-anti-affinity
+    #: violation; replicas of one logical shard must not colocate.
+    replica_penalty: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("move_penalty", self.move_penalty)
+        check_non_negative("smooth_weight", self.smooth_weight)
+        check_non_negative("overload_penalty", self.overload_penalty)
+        check_non_negative("vacancy_penalty", self.vacancy_penalty)
+        check_non_negative("replica_penalty", self.replica_penalty)
+
+
+class Objective:
+    """Callable objective bound to an episode's initial assignment.
+
+    Parameters
+    ----------
+    initial_assignment:
+        ``a0`` — used for the moved-bytes term.
+    sizes:
+        Per-shard migration bytes.
+    required_returns:
+        ``R`` — vacant machines owed at the end.
+    weights:
+        Term weights.
+
+    The instance is immutable and cheap to call: one vectorized pass over
+    the ``(m, d)`` load matrix per evaluation.
+    """
+
+    def __init__(
+        self,
+        initial_assignment: np.ndarray,
+        sizes: np.ndarray,
+        *,
+        required_returns: int = 0,
+        weights: ObjectiveWeights | None = None,
+    ) -> None:
+        self.a0 = np.asarray(initial_assignment, dtype=np.int64).copy()
+        self.sizes = np.asarray(sizes, dtype=np.float64)
+        if self.a0.shape != self.sizes.shape:
+            raise ValueError("initial_assignment and sizes must have equal length")
+        check_non_negative("required_returns", required_returns)
+        self.required_returns = int(required_returns)
+        self.weights = weights or ObjectiveWeights()
+        self._total_bytes = float(self.sizes.sum()) or 1.0
+
+    # ------------------------------------------------------------------ API
+    def __call__(self, state: ClusterState) -> float:
+        """Objective value of *state* (lower is better)."""
+        return self.components(state)["value"]
+
+    def components(self, state: ClusterState) -> dict[str, float]:
+        """All objective terms, for reporting and tests."""
+        w = self.weights
+        util = state.loads / state.capacity  # capacities are > 0
+        machine_peak = util.max(axis=1)
+        peak = float(machine_peak.max())
+        smooth = float(np.mean(machine_peak**2))
+
+        assign = state.assignment_view()
+        moved = float(self.sizes[assign != self.a0].sum()) / self._total_bytes
+
+        over = np.maximum(util - 1.0, 0.0)
+        overload = float(over.sum())
+
+        vacant = int(np.sum((state.shard_counts() == 0) & ~state.offline_mask))
+        shortfall = max(0, self.required_returns - vacant)
+        conflicts = len(state.replica_conflicts()) if state.replica_groups else 0
+
+        value = (
+            peak
+            + w.smooth_weight * smooth
+            + w.move_penalty * moved
+            + w.overload_penalty * overload
+            + w.vacancy_penalty * shortfall
+            + w.replica_penalty * conflicts
+        )
+        return {
+            "value": value,
+            "peak": peak,
+            "smooth": smooth,
+            "moved_fraction": moved,
+            "overload": overload,
+            "vacancy_shortfall": float(shortfall),
+            "replica_conflicts": float(conflicts),
+        }
+
+    def is_feasible(self, state: ClusterState, *, atol: float = 1e-9) -> bool:
+        """Hard feasibility: within capacity, fully assigned, R vacancies."""
+        if not state.is_fully_assigned():
+            return False
+        if not state.is_within_capacity(atol=atol):
+            return False
+        if state.replica_groups and state.has_replica_conflicts():
+            return False
+        vacant = int(np.sum((state.shard_counts() == 0) & ~state.offline_mask))
+        return vacant >= self.required_returns

@@ -1,0 +1,169 @@
+"""Repair operators for the LNS.
+
+A repair operator reinserts the shards a destroy operator removed.  Both
+operators share the placement scoring: inserting shard *j* on machine *i*
+is scored by the machine's peak utilization after insertion, with a large
+penalty when the insertion overflows capacity (so overflow is used only
+when nothing fits, and the objective's overload penalty then drives the
+search away from it).  Blocked machines (SRA's designated-return
+machines) score ``inf`` and are never chosen.
+
+* :func:`greedy_best_fit` — insert largest-demand first, each on its
+  best-scoring machine.
+* :func:`regret2_insertion` — classic regret-2: repeatedly insert the
+  shard whose best option beats its second-best by the most (the shard
+  that will suffer most if postponed).
+
+Both operators run on a shared :class:`_ScoreTable`: the full (q, m)
+score matrix is built once, vectorized, and after each insertion only the
+changed machine's column is recomputed — O(q·m·d) total per repair
+instead of the naive O(q²·m·d).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.cluster import ClusterState
+
+__all__ = [
+    "RepairOperator",
+    "greedy_best_fit",
+    "regret2_insertion",
+    "DEFAULT_REPAIR_OPS",
+]
+
+#: Score penalty for a placement that overflows capacity.
+_OVERFLOW_PENALTY = 1e3
+
+
+class RepairOperator(Protocol):
+    """Signature of a repair operator."""
+
+    __name__: str
+
+    def __call__(
+        self,
+        state: ClusterState,
+        rng: np.random.Generator,
+        removed: Sequence[int],
+    ) -> None: ...
+
+
+class _ScoreTable:
+    """Incrementally maintained (q, m) placement-score matrix.
+
+    ``scores[r, i]`` is the peak utilization of machine ``i`` after
+    inserting removed shard ``r`` there (+ overflow penalty, inf when
+    blocked).  After an insertion, only the receiving machine's column
+    changes.
+    """
+
+    def __init__(self, state: ClusterState, removed: Sequence[int]) -> None:
+        self.state = state
+        self.shards = np.asarray(removed, dtype=np.int64)
+        demand = state.demand[self.shards]  # (q, d)
+        after = state.loads[None, :, :] + demand[:, None, :]  # (q, m, d)
+        util = after / state.capacity[None, :, :]
+        self.scores = util.max(axis=2)
+        overflow = np.any(after > state.capacity[None, :, :] + 1e-12, axis=2)
+        self.scores += _OVERFLOW_PENALTY * overflow
+        self.scores[:, state.blocked_mask] = np.inf
+        self.active = np.ones(len(self.shards), dtype=bool)
+        # Replica anti-affinity: machines already hosting a sibling score
+        # inf; when a sibling from this batch lands somewhere, that
+        # machine is struck for the remaining members of the group.
+        self._group_rows: dict[int, list[int]] = {}
+        for row, j in enumerate(self.shards):
+            sh = state.shards[int(j)]
+            if sh.replica_of >= 0:
+                self._group_rows.setdefault(sh.replica_of, []).append(row)
+            hosts = state.replica_peer_machines(int(j))
+            if hosts.size:
+                self.scores[row, hosts] = np.inf
+
+    def insert(self, row: int, machine: int) -> None:
+        """Assign row's shard to *machine* and refresh that column."""
+        state = self.state
+        shard_id = int(self.shards[row])
+        state.assign_shard(shard_id, machine)
+        self.active[row] = False
+        group = state.shards[shard_id].replica_of
+        if group >= 0:
+            for sibling_row in self._group_rows.get(group, ()):
+                if self.active[sibling_row]:
+                    self.scores[sibling_row, machine] = np.inf
+        if not np.any(self.active):
+            return
+        rows = np.flatnonzero(self.active)
+        demand = state.demand[self.shards[rows]]
+        after = state.loads[machine][None, :] + demand  # (k, d)
+        col = (after / state.capacity[machine][None, :]).max(axis=1)
+        col += _OVERFLOW_PENALTY * np.any(
+            after > state.capacity[machine][None, :] + 1e-12, axis=1
+        )
+        if state.blocked_mask[machine]:
+            col[:] = np.inf
+        keep_inf = ~np.isfinite(self.scores[rows, machine])
+        col[keep_inf] = np.inf
+        self.scores[rows, machine] = col
+
+    def best_machine(self, row: int) -> int:
+        choice = int(np.argmin(self.scores[row]))
+        if np.isfinite(self.scores[row, choice]):
+            return choice
+        # Every machine is blocked or anti-affine (replication factor near
+        # the machine count): fall back to the least-loaded open machine
+        # and let the objective's replica penalty drive repair next round.
+        state = self.state
+        extra = state.demand[self.shards[row]]
+        peak = ((state.loads + extra) / state.capacity).max(axis=1)
+        peak[state.blocked_mask] = np.inf
+        return int(np.argmin(peak))
+
+    def regrets(self) -> tuple[np.ndarray, np.ndarray]:
+        """(active_rows, regret values) — regret = 2nd best − best score."""
+        rows = np.flatnonzero(self.active)
+        sub = self.scores[rows]
+        if sub.shape[1] == 1:
+            return rows, np.full(rows.size, np.inf)
+        part = np.partition(sub, 1, axis=1)
+        reg = part[:, 1] - part[:, 0]
+        return rows, reg
+
+
+def greedy_best_fit(
+    state: ClusterState, rng: np.random.Generator, removed: Sequence[int]
+) -> None:
+    """Insert removed shards, largest demand first, on best-scoring machines."""
+    if not removed:
+        return
+    order = sorted(removed, key=lambda j: -float(state.demand[j].sum()))
+    table = _ScoreTable(state, order)
+    for row in range(len(order)):
+        table.insert(row, table.best_machine(row))
+
+
+def regret2_insertion(
+    state: ClusterState, rng: np.random.Generator, removed: Sequence[int]
+) -> None:
+    """Regret-2 insertion: place the shard with the largest regret first.
+
+    Incremental score maintenance makes this O(q·(q + m·d)) per repair.
+    """
+    if not removed:
+        return
+    table = _ScoreTable(state, list(removed))
+    demand_mass = state.demand[np.asarray(removed, dtype=np.int64)].sum(axis=1)
+    for _ in range(len(removed)):
+        rows, reg = table.regrets()
+        # Tie-break regret by demand so big shards go early.
+        key = reg + 1e-9 * demand_mass[rows]
+        row = int(rows[np.argmax(key)])
+        table.insert(row, table.best_machine(row))
+
+
+#: Default operator portfolio of SRA.
+DEFAULT_REPAIR_OPS: tuple[RepairOperator, ...] = (greedy_best_fit, regret2_insertion)

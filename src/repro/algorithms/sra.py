@@ -1,0 +1,180 @@
+"""SRA — the Shard Reassignment Algorithm (the paper's contribution).
+
+SRA couples the ALNS engine with the exchange semantics:
+
+1. the working cluster already contains the borrowed machines (vacant);
+2. the objective carries the vacancy-return constraint as a penalty, so
+   the search is pulled toward states with ``R`` empty machines;
+3. a candidate may only become the incumbent best if (a) it satisfies
+   hard capacity, (b) the exchange ledger can be settled on it, and
+   (c) a transient-feasible migration schedule exists (staging through
+   spare machines allowed) — the *feasibility coupling*;
+4. the returned plan includes the staged migration schedule and the
+   ledger settlement, so a result is an executable artifact, not just a
+   target assignment.
+
+Ablation switches (experiment E10) expose each design decision.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterState, ExchangeLedger
+from repro.algorithms.baselines import LocalSearchRebalancer
+from repro.migration import StagingPlanner, WaveScheduler, diff_moves
+from repro.algorithms.base import RebalanceResult, Rebalancer, finalize_result
+from repro.algorithms.destroy import (
+    DEFAULT_DESTROY_OPS,
+    DestroyOperator,
+    exchange_swap_removal,
+    random_removal,
+    shaw_removal,
+    worst_machine_removal,
+)
+from repro.algorithms.lns import AlnsEngine
+from repro.algorithms.objective import Objective
+from repro.algorithms.repair import DEFAULT_REPAIR_OPS, RepairOperator
+from repro.algorithms.sra_config import SRAConfig
+
+__all__ = ["SRA", "SRAConfig"]
+
+
+class SRA(Rebalancer):
+    """Large-neighborhood-search shard reassignment with resource exchange.
+
+    Usage::
+
+        grown, ledger = ExchangeLedger.borrow(state, exchange_machines)
+        result = SRA(SRAConfig(seed=1)).rebalance(grown, ledger)
+
+    Without a ledger SRA degenerates to a plain LNS rebalancer over the
+    given machines (useful as the no-exchange ablation).
+    """
+
+    name = "sra"
+
+    def __init__(self, config: SRAConfig | None = None) -> None:
+        self.config = config or SRAConfig()
+
+    # ------------------------------------------------------------------ API
+    def rebalance(
+        self, state: ClusterState, ledger: ExchangeLedger | None = None
+    ) -> RebalanceResult:
+        started = time.perf_counter()
+        cfg = self.config
+        required = ledger.required_returns if ledger is not None else 0
+
+        objective = Objective(
+            state.assignment,
+            state.sizes,
+            required_returns=required,
+            weights=cfg.weights,
+        )
+        planner = StagingPlanner(
+            WaveScheduler(),
+            max_hops_per_shard=cfg.max_hops_per_shard,
+        )
+
+        def best_filter(candidate: ClusterState) -> bool:
+            if not cfg.feasibility_coupling:
+                return objective.is_feasible(candidate)
+            if not objective.is_feasible(candidate):
+                return False
+            if ledger is not None and not ledger.is_satisfiable(candidate):
+                return False
+            moves = diff_moves(state, candidate.assignment_view())
+            return planner.plan(state, candidate.assignment).feasible if moves else True
+
+        # Pin R designated-return machines (blocked = kept empty) so every
+        # intermediate state satisfies the exchange contract structurally;
+        # the exchange_swap_removal operator searches over which machines
+        # those are.  Prefer borrowed machines as the initial designees.
+        work = state.copy()
+        if required > 0:
+            vacant = list(work.vacant_machines())
+            preferred = [m for m in (ledger.borrowed_ids if ledger else ()) if m in vacant]
+            rest = [m for m in vacant if m not in set(preferred)]
+            for mid in (preferred + rest)[:required]:
+                work.block_machine(int(mid))
+
+        engine = AlnsEngine(cfg.alns, self._destroy_ops(), self._repair_ops())
+        initial_valid = objective.is_feasible(work) and (
+            ledger is None or ledger.is_satisfiable(work)
+        )
+        outcome = engine.run(
+            work,
+            objective,
+            best_filter=best_filter,
+            initial_is_valid_best=initial_valid,
+        )
+
+        target = (
+            outcome.best_assignment
+            if outcome.best_assignment is not None
+            else state.assignment
+        )
+        if outcome.best_assignment is not None and cfg.polish:
+            polished = self._polish(state, outcome.best_assignment, ledger, required)
+            if objective(polished) < outcome.best_objective - 1e-12 and best_filter(
+                polished
+            ):
+                target = polished.assignment
+        result = finalize_result(
+            self.name,
+            state,
+            target,
+            ledger=ledger,
+            planner=planner,
+            started_at=started,
+            iterations=outcome.iterations,
+            history=outcome.history,
+        )
+        if outcome.best_assignment is None:
+            # Nothing valid was found (e.g. impossible vacancy contract);
+            # report the no-op but flag infeasibility of the contract.
+            result.feasible = False
+        return result
+
+    # ------------------------------------------------------------- internal
+    def _polish(
+        self,
+        state: ClusterState,
+        best: "np.ndarray",
+        ledger: ExchangeLedger | None,
+        required: int,
+    ) -> ClusterState:
+        """Steepest-descent move/swap polish of the incumbent.
+
+        Designated-return machines (any ``required`` vacant machines of
+        the incumbent, borrowed ones first) are blocked so the descent
+        cannot spend them.
+        """
+        polished = state.copy()
+        polished.apply_assignment(best)
+        if required > 0:
+            vacant = list(polished.vacant_machines())
+            preferred = [
+                m for m in (ledger.borrowed_ids if ledger else ()) if m in vacant
+            ]
+            rest = [m for m in vacant if m not in set(preferred)]
+            for mid in (preferred + rest)[:required]:
+                polished.block_machine(int(mid))
+        ls = LocalSearchRebalancer(seed=self.config.alns.seed)
+        ls.improve_in_place(
+            polished,
+            np.random.default_rng(self.config.alns.seed),
+            max_steps=self.config.polish_steps,
+        )
+        return polished
+
+    def _destroy_ops(self) -> tuple[DestroyOperator, ...]:
+        if self.config.use_vacancy_removal:
+            return DEFAULT_DESTROY_OPS
+        # Ablation: no vacancy-minting and no designee swapping.
+        return (random_removal, worst_machine_removal, shaw_removal)
+
+    def _repair_ops(self) -> tuple[RepairOperator, ...]:
+        return DEFAULT_REPAIR_OPS

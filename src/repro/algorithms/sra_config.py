@@ -1,0 +1,59 @@
+"""SRA configuration (separate module to avoid import cycles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.algorithms.lns import AlnsConfig
+from repro.algorithms.objective import ObjectiveWeights
+
+__all__ = ["SRAConfig"]
+
+
+@dataclass(frozen=True)
+class SRAConfig:
+    """Knobs of SRA.
+
+    Attributes
+    ----------
+    alns:
+        Hyper-parameters of the underlying ALNS engine.
+    weights:
+        Search-objective weights (move penalty, vacancy penalty, ...).
+    max_hops_per_shard:
+        Staging depth allowed in the migration planner.
+    feasibility_coupling:
+        When True (default, the paper's design) a candidate may only
+        become the incumbent best if a transient-feasible migration
+        schedule exists and the exchange contract is satisfiable.
+        When False only capacity feasibility is checked during the
+        search, and schedulability is evaluated post-hoc — ablation
+        E10 measures how often that fails.
+    use_vacancy_removal:
+        Whether the vacancy-minting destroy operator participates
+        (ablation E10).
+    polish:
+        Whether to finish with a steepest-descent move/swap polish of the
+        incumbent (standard ALNS practice; ablation E10).  The polish
+        respects blocked machines and is only kept when the polished
+        state still passes the feasibility coupling.
+    polish_steps:
+        Step budget of the polish phase.
+    seed:
+        Convenience override for ``alns.seed``.
+    """
+
+    alns: AlnsConfig = field(default_factory=AlnsConfig)
+    weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+    max_hops_per_shard: int = 2
+    feasibility_coupling: bool = True
+    use_vacancy_removal: bool = True
+    polish: bool = True
+    polish_steps: int = 3000
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_hops_per_shard < 1:
+            raise ValueError("max_hops_per_shard must be >= 1")
+        if self.seed is not None:
+            object.__setattr__(self, "alns", replace(self.alns, seed=self.seed))

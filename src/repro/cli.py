@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``generate``   — write an instance snapshot (JSON) from a generator;
+* ``info``       — print a snapshot's balance metrics;
+* ``rebalance``  — rebalance a snapshot with SRA or a baseline, print
+  the episode report, optionally write the resulting snapshot;
+* ``experiment`` — regenerate one of the experiment tables (E1–E13).
+
+Every command is a thin shell over the library API, so anything the CLI
+does is equally scriptable in Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.algorithms import (
+    AlnsConfig,
+    GreedyRebalancer,
+    LocalSearchRebalancer,
+    NoopRebalancer,
+    RandomRestartRebalancer,
+    SRA,
+    SRAConfig,
+)
+from repro.cluster import load_json, save_json
+from repro.core import ResourceExchangeRebalancer
+from repro.metrics import imbalance_report
+from repro.workloads import (
+    DatacenterConfig,
+    ReplicatedConfig,
+    SyntheticConfig,
+    generate,
+    generate_datacenter,
+    generate_replicated,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-exchange shard rebalancing (ICPP 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an instance snapshot")
+    gen.add_argument("--kind", choices=("synthetic", "datacenter", "replicated"),
+                     default="synthetic")
+    gen.add_argument("--machines", type=int, default=20)
+    gen.add_argument("--shards-per-machine", type=int, default=6)
+    gen.add_argument("--utilization", type=float, default=0.8)
+    gen.add_argument("--skew", type=float, default=0.55)
+    gen.add_argument("--replication", type=int, default=2,
+                     help="replication factor (replicated kind only)")
+    gen.add_argument("--drift", type=float, default=0.35,
+                     help="popularity drift (datacenter kind only)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output snapshot path (JSON)")
+
+    info = sub.add_parser("info", help="print a snapshot's balance metrics")
+    info.add_argument("snapshot", help="snapshot path (JSON)")
+
+    reb = sub.add_parser("rebalance", help="rebalance a snapshot")
+    reb.add_argument("snapshot", help="snapshot path (JSON)")
+    reb.add_argument("--algorithm", choices=("sra", "local-search", "greedy",
+                                             "random-restart", "noop"),
+                     default="sra")
+    reb.add_argument("--exchange", type=int, default=0,
+                     help="number of machines to borrow (B)")
+    reb.add_argument("--returns", type=int, default=None,
+                     help="vacant machines to return (R); defaults to B")
+    reb.add_argument("--iterations", type=int, default=2000,
+                     help="SRA search iterations")
+    reb.add_argument("--seed", type=int, default=0)
+    reb.add_argument("--out", default=None,
+                     help="write the rebalanced snapshot here")
+
+    exp = sub.add_parser("experiment", help="regenerate an experiment table")
+    exp.add_argument("id", help="experiment id, e.g. e3")
+    exp.add_argument("--full", action="store_true",
+                     help="full scale instead of the fast CI scale")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        state = generate(
+            SyntheticConfig(
+                num_machines=args.machines,
+                shards_per_machine=args.shards_per_machine,
+                target_utilization=args.utilization,
+                placement_skew=args.skew,
+                max_shard_fraction=0.35,
+                seed=args.seed,
+            )
+        )
+    elif args.kind == "datacenter":
+        state = generate_datacenter(
+            DatacenterConfig(
+                num_machines=args.machines,
+                shards_per_machine=args.shards_per_machine,
+                target_utilization=args.utilization,
+                drift=args.drift,
+                seed=args.seed,
+            )
+        )
+    else:
+        state = generate_replicated(
+            ReplicatedConfig(
+                base=SyntheticConfig(
+                    num_machines=args.machines,
+                    shards_per_machine=args.shards_per_machine,
+                    target_utilization=args.utilization,
+                    placement_skew=args.skew,
+                    max_shard_fraction=0.35,
+                    seed=args.seed,
+                ),
+                replication_factor=args.replication,
+            )
+        )
+    save_json(state, args.out)
+    print(
+        f"wrote {args.kind} snapshot: {state.num_machines} machines, "
+        f"{state.num_shards} shards, peak {state.peak_utilization():.3f} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    state = load_json(args.snapshot)
+    rep = imbalance_report(state)
+    print(f"machines            {state.num_machines}")
+    print(f"shards              {state.num_shards}")
+    print(f"resource dims       {state.dims} {tuple(state.schema.names)}")
+    print(f"tightness           {state.mean_utilization().max():.4f}")
+    print(f"peak utilization    {rep.peak_utilization:.4f}")
+    print(f"cv / jain / ratio   {rep.cv:.4f} / {rep.jain:.4f} / {rep.ratio:.4f}")
+    print(f"overloaded machines {rep.overloaded_machines}")
+    print(f"vacant machines     {rep.vacant_machines}")
+    print(f"replica groups      {len(state.replica_groups)}")
+    return 0
+
+
+def _make_algorithm(args: argparse.Namespace):
+    if args.algorithm == "sra":
+        return SRA(SRAConfig(alns=AlnsConfig(iterations=args.iterations, seed=args.seed)))
+    if args.algorithm == "local-search":
+        return LocalSearchRebalancer(seed=args.seed)
+    if args.algorithm == "greedy":
+        return GreedyRebalancer()
+    if args.algorithm == "random-restart":
+        return RandomRestartRebalancer(seed=args.seed)
+    return NoopRebalancer()
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    state = load_json(args.snapshot)
+    rebalancer = ResourceExchangeRebalancer(
+        _make_algorithm(args),
+        exchange_machines=args.exchange,
+        required_returns=args.returns,
+    )
+    report = rebalancer.run(state)
+    print(report.format_table())
+    if not report.feasible:
+        print("\nWARNING: no feasible rebalancing found", file=sys.stderr)
+    if args.out:
+        # Persist the augmented fleet with the final assignment.
+        from repro.cluster import ExchangeLedger
+        from repro.workloads import make_exchange_machines
+
+        grown, _ = ExchangeLedger.borrow(
+            state, make_exchange_machines(state, args.exchange)
+        )
+        grown.apply_assignment(report.result.target_assignment)
+        save_json(grown, args.out)
+        print(f"\nwrote rebalanced snapshot -> {args.out}")
+    return 0 if report.feasible else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY, print_table
+
+    key = args.id.lower()
+    if key not in REGISTRY:
+        print(
+            f"unknown experiment {args.id!r}; available: {sorted(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = REGISTRY[key](fast=not args.full)
+    print_table(rows, title=f"experiment {key}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "rebalance":
+        return _cmd_rebalance(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,110 @@
+"""Machine descriptions.
+
+A :class:`Machine` is an immutable description of a server: a capacity
+vector plus bookkeeping flags.  Mutable placement state (which shards live
+where, current loads) lives in :class:`repro.cluster.state.ClusterState`,
+so machines can be shared freely between cluster snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._validation import as_demand_array
+from repro.cluster.resources import DEFAULT_SCHEMA, ResourceSchema
+
+__all__ = ["Machine", "MachineClass"]
+
+
+@dataclass(frozen=True)
+class MachineClass:
+    """A hardware class: a named capacity profile machines are stamped from.
+
+    Real datacenters contain a handful of machine generations; the
+    datacenter workload generator draws machines from a mix of classes.
+    """
+
+    name: str
+    capacity: np.ndarray
+    schema: ResourceSchema = DEFAULT_SCHEMA
+
+    def __post_init__(self) -> None:
+        cap = as_demand_array("capacity", self.capacity, self.schema.dims)
+        if np.any(cap <= 0):
+            raise ValueError(f"MachineClass capacity must be strictly positive, got {cap}")
+        object.__setattr__(self, "capacity", cap)
+
+    def stamp(self, machine_id: int, *, exchange: bool = False) -> "Machine":
+        """Create a machine of this class with the given id."""
+        return Machine(
+            id=machine_id,
+            capacity=self.capacity.copy(),
+            schema=self.schema,
+            cls=self.name,
+            exchange=exchange,
+        )
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An immutable server description.
+
+    Attributes
+    ----------
+    id:
+        Dense integer identifier; also the machine's row in the cluster's
+        load matrix.
+    capacity:
+        Per-dimension capacity vector (schema order).
+    schema:
+        Resource schema the capacity is expressed in.
+    cls:
+        Hardware-class label (informational).
+    exchange:
+        True when this machine was borrowed from the exchange pool — it
+        starts vacant and participates in the vacancy-return accounting.
+    """
+
+    id: int
+    capacity: np.ndarray
+    schema: ResourceSchema = DEFAULT_SCHEMA
+    cls: str = "default"
+    exchange: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError(f"machine id must be >= 0, got {self.id}")
+        cap = as_demand_array("capacity", self.capacity, self.schema.dims)
+        if np.any(cap <= 0):
+            raise ValueError(f"Machine capacity must be strictly positive, got {cap}")
+        object.__setattr__(self, "capacity", cap)
+
+    def with_id(self, new_id: int) -> "Machine":
+        """Copy of this machine under a different id (used when appending
+        borrowed machines to an existing cluster)."""
+        return replace(self, id=new_id)
+
+    def capacity_of(self, resource: str) -> float:
+        """Capacity along a named dimension."""
+        return float(self.capacity[self.schema.index(resource)])
+
+    @staticmethod
+    def homogeneous(
+        count: int,
+        capacity: Mapping[str, float] | Sequence[float] | float,
+        *,
+        schema: ResourceSchema = DEFAULT_SCHEMA,
+        cls: str = "default",
+        start_id: int = 0,
+    ) -> list["Machine"]:
+        """Build *count* identical machines — the common test fixture."""
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        cap = schema.vector(capacity)
+        return [
+            Machine(id=start_id + k, capacity=cap.copy(), schema=schema, cls=cls)
+            for k in range(count)
+        ]

@@ -1,0 +1,89 @@
+"""Cluster snapshot (de)serialization.
+
+Snapshots are plain dicts (JSON-compatible) so that instances can be saved
+alongside experiment results and replayed byte-for-byte.  The format is
+versioned; loaders reject unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.resources import ResourceSchema
+from repro.cluster.shard import Shard
+from repro.cluster.state import ClusterState
+
+__all__ = ["to_dict", "from_dict", "save_json", "load_json", "SNAPSHOT_VERSION"]
+
+SNAPSHOT_VERSION = 1
+
+
+def to_dict(state: ClusterState) -> dict[str, Any]:
+    """Serialize *state* to a JSON-compatible dict."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "schema": list(state.schema.names),
+        "machines": [
+            {
+                "id": mach.id,
+                "capacity": mach.capacity.tolist(),
+                "cls": mach.cls,
+                "exchange": bool(mach.exchange),
+            }
+            for mach in state.machines
+        ],
+        "shards": [
+            {
+                "id": sh.id,
+                "demand": sh.demand.tolist(),
+                "size_bytes": float(sh.size_bytes),
+                "replica_of": int(sh.replica_of),
+            }
+            for sh in state.shards
+        ],
+        "assignment": state.assignment.tolist(),
+    }
+
+
+def from_dict(data: dict[str, Any]) -> ClusterState:
+    """Rebuild a :class:`ClusterState` from :func:`to_dict` output."""
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot version {version!r}")
+    schema = ResourceSchema(tuple(data["schema"]))
+    machines = [
+        Machine(
+            id=int(m["id"]),
+            capacity=np.asarray(m["capacity"], dtype=np.float64),
+            schema=schema,
+            cls=str(m.get("cls", "default")),
+            exchange=bool(m.get("exchange", False)),
+        )
+        for m in data["machines"]
+    ]
+    shards = [
+        Shard(
+            id=int(s["id"]),
+            demand=np.asarray(s["demand"], dtype=np.float64),
+            schema=schema,
+            size_bytes=float(s.get("size_bytes", -1.0)),
+            replica_of=int(s.get("replica_of", -1)),
+        )
+        for s in data["shards"]
+    ]
+    return ClusterState(machines, shards, data["assignment"])
+
+
+def save_json(state: ClusterState, path: str | Path) -> None:
+    """Write *state* to *path* as JSON."""
+    Path(path).write_text(json.dumps(to_dict(state)))
+
+
+def load_json(path: str | Path) -> ClusterState:
+    """Read a snapshot previously written by :func:`save_json`."""
+    return from_dict(json.loads(Path(path).read_text()))

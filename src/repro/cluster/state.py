@@ -1,0 +1,443 @@
+"""Mutable cluster placement state.
+
+:class:`ClusterState` is the data structure every algorithm in the library
+manipulates.  It couples an immutable description of the fleet (machine
+capacities, shard demands) with the one piece of mutable state — the
+assignment array ``assign[j] = machine index`` — and keeps the per-machine
+load matrix incrementally up to date so that a single shard move costs
+O(d) rather than O(n·d).
+
+Hot-path contract (relied on by the LNS inner loop):
+
+* ``move``/``unassign``/``assign_shard`` update ``loads`` in O(d);
+* ``capacity``, ``demand``, ``loads`` are dense ``float64`` arrays safe to
+  read (but not write) directly;
+* ``copy()`` is a cheap structural copy (arrays copied, descriptions
+  shared).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.resources import ResourceSchema, safe_ratio
+from repro.cluster.shard import Shard
+
+__all__ = ["ClusterState", "UNASSIGNED"]
+
+#: Sentinel value in the assignment array for a shard not currently placed
+#: (only ever observed transiently, inside destroy/repair cycles).
+UNASSIGNED: int = -1
+
+
+class ClusterState:
+    """Machines + shards + a (partial) assignment, with O(d) move updates.
+
+    Parameters
+    ----------
+    machines:
+        Machine descriptions with dense ids ``0..m-1``.
+    shards:
+        Shard descriptions with dense ids ``0..n-1``.
+    assignment:
+        Initial assignment: ``assignment[j]`` is the machine id hosting
+        shard ``j`` (or :data:`UNASSIGNED`).  Defaults to all unassigned.
+
+    Notes
+    -----
+    The constructor does **not** require the assignment to respect
+    capacities — overloaded clusters are a legitimate input (that is what
+    the rebalancer is for).  Use :meth:`is_within_capacity` to test.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        shards: Sequence[Shard],
+        assignment: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
+        if not machines:
+            raise ValueError("ClusterState requires at least one machine")
+        if not shards:
+            raise ValueError("ClusterState requires at least one shard")
+        schema = machines[0].schema
+        for mach in machines:
+            if mach.schema != schema:
+                raise ValueError("all machines must share one resource schema")
+        for sh in shards:
+            if sh.schema != schema:
+                raise ValueError("all shards must share the machines' resource schema")
+        if [mach.id for mach in machines] != list(range(len(machines))):
+            raise ValueError("machine ids must be dense 0..m-1 in order")
+        if [sh.id for sh in shards] != list(range(len(shards))):
+            raise ValueError("shard ids must be dense 0..n-1 in order")
+
+        self._schema = schema
+        self._machines: tuple[Machine, ...] = tuple(machines)
+        self._shards: tuple[Shard, ...] = tuple(shards)
+        self._capacity = np.stack([mach.capacity for mach in machines])  # (m, d)
+        self._demand = np.stack([sh.demand for sh in shards])  # (n, d)
+        self._sizes = np.array([sh.size_bytes for sh in shards], dtype=np.float64)
+        self._exchange_mask = np.array([mach.exchange for mach in machines], dtype=bool)
+
+        n = len(shards)
+        if assignment is None:
+            self._assign = np.full(n, UNASSIGNED, dtype=np.int64)
+        else:
+            arr = np.asarray(assignment, dtype=np.int64)
+            if arr.shape != (n,):
+                raise ValueError(f"assignment must have shape ({n},), got {arr.shape}")
+            bad = (arr != UNASSIGNED) & ((arr < 0) | (arr >= len(machines)))
+            if np.any(bad):
+                raise ValueError(f"assignment references unknown machines at shards {np.flatnonzero(bad)}")
+            self._assign = arr.copy()
+        self._loads = np.zeros_like(self._capacity)
+        placed = self._assign != UNASSIGNED
+        if np.any(placed):
+            np.add.at(self._loads, self._assign[placed], self._demand[placed])
+        self._blocked = np.zeros(len(machines), dtype=bool)
+        self._offline = np.zeros(len(machines), dtype=bool)
+        # Replica groups: logical shard id -> member shard ids (only for
+        # shards declaring replica_of >= 0).  Anti-affinity (no two
+        # members on one machine) is enforced by the algorithms, checked
+        # via replica_conflicts().
+        self._replica_of = np.array([sh.replica_of for sh in shards], dtype=np.int64)
+        groups: dict[int, list[int]] = {}
+        for sh in shards:
+            if sh.replica_of >= 0:
+                groups.setdefault(sh.replica_of, []).append(sh.id)
+        self._replica_groups = {
+            g: np.asarray(members, dtype=np.int64) for g, members in groups.items()
+        }
+
+    # ---------------------------------------------------------------- sizes
+    @property
+    def schema(self) -> ResourceSchema:
+        """Resource schema shared by all machines and shards."""
+        return self._schema
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._machines)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def dims(self) -> int:
+        return self._schema.dims
+
+    @property
+    def machines(self) -> tuple[Machine, ...]:
+        return self._machines
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return self._shards
+
+    # --------------------------------------------------------------- arrays
+    @property
+    def capacity(self) -> np.ndarray:
+        """(m, d) capacity matrix.  Read-only by convention."""
+        return self._capacity
+
+    @property
+    def demand(self) -> np.ndarray:
+        """(n, d) demand matrix.  Read-only by convention."""
+        return self._demand
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """(n,) migration byte sizes.  Read-only by convention."""
+        return self._sizes
+
+    @property
+    def loads(self) -> np.ndarray:
+        """(m, d) current load matrix, maintained incrementally."""
+        return self._loads
+
+    @property
+    def exchange_mask(self) -> np.ndarray:
+        """(m,) bool mask of machines borrowed from the exchange pool."""
+        return self._exchange_mask
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Copy of the (n,) assignment array."""
+        return self._assign.copy()
+
+    def assignment_view(self) -> np.ndarray:
+        """The live assignment array — do not mutate."""
+        return self._assign
+
+    # ------------------------------------------------------------ mutation
+    def machine_of(self, shard_id: int) -> int:
+        """Machine currently hosting *shard_id* (or :data:`UNASSIGNED`)."""
+        return int(self._assign[shard_id])
+
+    def unassign(self, shard_id: int) -> int:
+        """Remove a shard from its machine; return the former machine id."""
+        src = int(self._assign[shard_id])
+        if src == UNASSIGNED:
+            return UNASSIGNED
+        self._loads[src] -= self._demand[shard_id]
+        self._assign[shard_id] = UNASSIGNED
+        return src
+
+    def assign_shard(self, shard_id: int, machine_id: int) -> None:
+        """Place an unassigned shard on *machine_id* (O(d)).
+
+        Raises when the machine is blocked (see :meth:`block_machine`).
+        """
+        if self._assign[shard_id] != UNASSIGNED:
+            raise ValueError(
+                f"shard {shard_id} is already on machine {self._assign[shard_id]}; "
+                "use move() or unassign() first"
+            )
+        if not 0 <= machine_id < self.num_machines:
+            raise ValueError(f"unknown machine {machine_id}")
+        if self._blocked[machine_id]:
+            raise ValueError(f"machine {machine_id} is blocked for placement")
+        self._assign[shard_id] = machine_id
+        self._loads[machine_id] += self._demand[shard_id]
+
+    def move(self, shard_id: int, dst: int) -> int:
+        """Move a shard to machine *dst*; return its former machine (O(d))."""
+        src = self.unassign(shard_id)
+        self.assign_shard(shard_id, dst)
+        return src
+
+    def apply_assignment(self, assignment: np.ndarray) -> None:
+        """Replace the whole assignment (recomputes loads once, O(n·d))."""
+        arr = np.asarray(assignment, dtype=np.int64)
+        if arr.shape != (self.num_shards,):
+            raise ValueError(f"assignment must have shape ({self.num_shards},), got {arr.shape}")
+        bad = (arr != UNASSIGNED) & ((arr < 0) | (arr >= self.num_machines))
+        if np.any(bad):
+            raise ValueError("assignment references unknown machines")
+        self._assign = arr.copy()
+        self._loads.fill(0.0)
+        placed = self._assign != UNASSIGNED
+        if np.any(placed):
+            np.add.at(self._loads, self._assign[placed], self._demand[placed])
+
+    # -------------------------------------------------------------- queries
+    def utilization(self) -> np.ndarray:
+        """(m, d) load / capacity."""
+        return safe_ratio(self._loads, self._capacity)
+
+    def machine_peak_utilization(self) -> np.ndarray:
+        """(m,) worst-dimension utilization per machine."""
+        return self.utilization().max(axis=1)
+
+    def peak_utilization(self) -> float:
+        """Cluster-wide peak utilization (the primary imbalance measure)."""
+        return float(self.machine_peak_utilization().max())
+
+    def headroom(self) -> np.ndarray:
+        """(m, d) remaining capacity (may be negative when overloaded)."""
+        return self._capacity - self._loads
+
+    def machine_shards(self, machine_id: int) -> np.ndarray:
+        """Shard ids currently hosted by *machine_id* (ascending)."""
+        return np.flatnonzero(self._assign == machine_id)
+
+    def shard_counts(self) -> np.ndarray:
+        """(m,) number of shards per machine."""
+        return np.bincount(
+            self._assign[self._assign != UNASSIGNED], minlength=self.num_machines
+        )
+
+    def vacant_machines(self) -> np.ndarray:
+        """Ids of machines hosting no shard."""
+        return np.flatnonzero(self.shard_counts() == 0)
+
+    def unassigned_shards(self) -> np.ndarray:
+        """Ids of shards with no machine (transient during destroy/repair)."""
+        return np.flatnonzero(self._assign == UNASSIGNED)
+
+    def is_fully_assigned(self) -> bool:
+        """True when every shard has a machine."""
+        return bool(np.all(self._assign != UNASSIGNED))
+
+    def is_within_capacity(self, *, atol: float = 1e-9) -> bool:
+        """True when no machine exceeds capacity in any dimension."""
+        return bool(np.all(self._loads <= self._capacity + atol))
+
+    def overloaded_machines(self, *, atol: float = 1e-9) -> np.ndarray:
+        """Ids of machines exceeding capacity in some dimension."""
+        return np.flatnonzero(np.any(self._loads > self._capacity + atol, axis=1))
+
+    def fits(self, shard_id: int, machine_id: int, *, atol: float = 1e-9) -> bool:
+        """Would *shard_id* fit on *machine_id* right now (ignoring its
+        current placement if it is already there)?"""
+        extra = self._demand[shard_id]
+        load = self._loads[machine_id]
+        if self._assign[shard_id] == machine_id:
+            return bool(np.all(load <= self._capacity[machine_id] + atol))
+        return bool(np.all(load + extra <= self._capacity[machine_id] + atol))
+
+    def total_demand(self) -> np.ndarray:
+        """(d,) summed demand across all shards."""
+        return self._demand.sum(axis=0)
+
+    def total_capacity(self) -> np.ndarray:
+        """(d,) summed capacity across all machines."""
+        return self._capacity.sum(axis=0)
+
+    def mean_utilization(self) -> np.ndarray:
+        """(d,) total demand / total capacity — the tightness of the instance."""
+        return safe_ratio(self.total_demand(), self.total_capacity())
+
+    # ------------------------------------------------------------- replicas
+    @property
+    def replica_groups(self) -> dict[int, np.ndarray]:
+        """Logical shard id → member shard ids (replicated shards only)."""
+        return self._replica_groups
+
+    def replica_peers(self, shard_id: int) -> np.ndarray:
+        """Sibling shard ids of *shard_id* (empty for unreplicated shards)."""
+        group = int(self._replica_of[shard_id])
+        if group < 0:
+            return np.empty(0, dtype=np.int64)
+        members = self._replica_groups[group]
+        return members[members != shard_id]
+
+    def replica_peer_machines(self, shard_id: int) -> np.ndarray:
+        """Machines currently hosting siblings of *shard_id*."""
+        peers = self.replica_peers(shard_id)
+        if peers.size == 0:
+            return peers
+        hosts = self._assign[peers]
+        return np.unique(hosts[hosts != UNASSIGNED])
+
+    def replica_conflicts(self) -> list[tuple[int, int]]:
+        """(machine, logical shard) pairs hosting more than one replica."""
+        out: list[tuple[int, int]] = []
+        for group, members in self._replica_groups.items():
+            hosts = self._assign[members]
+            hosts = hosts[hosts != UNASSIGNED]
+            uniq, counts = np.unique(hosts, return_counts=True)
+            out.extend((int(m), group) for m in uniq[counts > 1])
+        return out
+
+    def has_replica_conflicts(self) -> bool:
+        """True when any machine hosts two replicas of one logical shard."""
+        return bool(self.replica_conflicts())
+
+    # ------------------------------------------------------------- blocking
+    @property
+    def blocked_mask(self) -> np.ndarray:
+        """(m,) bool mask of machines blocked for placement.
+
+        Blocking is how SRA pins its *designated-return* machines: a
+        blocked machine accepts no new shard, so it stays vacant by
+        construction and can be handed back when the episode settles.
+        """
+        return self._blocked
+
+    def block_machine(self, machine_id: int) -> None:
+        """Forbid placements on *machine_id* (it must currently be vacant)."""
+        if not 0 <= machine_id < self.num_machines:
+            raise ValueError(f"unknown machine {machine_id}")
+        if np.any(self._assign == machine_id):
+            raise ValueError(f"cannot block machine {machine_id}: it hosts shards")
+        self._blocked[machine_id] = True
+
+    def unblock_machine(self, machine_id: int) -> None:
+        """Allow placements on *machine_id* again (not possible for
+        offline machines — a dead machine stays dead)."""
+        if not 0 <= machine_id < self.num_machines:
+            raise ValueError(f"unknown machine {machine_id}")
+        if self._offline[machine_id]:
+            raise ValueError(f"machine {machine_id} is offline and cannot be unblocked")
+        self._blocked[machine_id] = False
+
+    @property
+    def offline_mask(self) -> np.ndarray:
+        """(m,) bool mask of machines that have failed / left the fleet.
+
+        Offline implies blocked-for-placement, but unlike a blocked
+        designated-return machine an offline machine can never be
+        unblocked, used as a staging host, swapped by the exchange
+        operator, or returned as exchange compensation.
+        """
+        return self._offline
+
+    def set_offline(self, machine_id: int) -> None:
+        """Mark a (vacant) machine as permanently out of service."""
+        if not 0 <= machine_id < self.num_machines:
+            raise ValueError(f"unknown machine {machine_id}")
+        if np.any(self._assign == machine_id):
+            raise ValueError(
+                f"cannot take machine {machine_id} offline: it hosts shards "
+                "(unassign them first)"
+            )
+        self._offline[machine_id] = True
+        self._blocked[machine_id] = True
+
+    # ---------------------------------------------------------------- copy
+    def copy(self) -> "ClusterState":
+        """Structural copy: shares machine/shard descriptions, copies state."""
+        dup = object.__new__(ClusterState)
+        dup._schema = self._schema
+        dup._machines = self._machines
+        dup._shards = self._shards
+        dup._capacity = self._capacity
+        dup._demand = self._demand
+        dup._sizes = self._sizes
+        dup._exchange_mask = self._exchange_mask
+        dup._assign = self._assign.copy()
+        dup._loads = self._loads.copy()
+        dup._blocked = self._blocked.copy()
+        dup._offline = self._offline.copy()
+        dup._replica_of = self._replica_of
+        dup._replica_groups = self._replica_groups
+        return dup
+
+    def with_extra_machines(self, extra: Iterable[Machine]) -> "ClusterState":
+        """New state with *extra* machines appended (ids are rewritten to
+        continue the dense sequence); the assignment is preserved.
+
+        This is how borrowed exchange machines join a cluster.
+        """
+        extra = list(extra)
+        machines = list(self._machines) + [
+            mach.with_id(self.num_machines + k) for k, mach in enumerate(extra)
+        ]
+        return ClusterState(machines, self._shards, self._assign)
+
+    def validate(self) -> None:
+        """Audit every internal invariant; raise ``ValueError`` on breach.
+
+        Used by tests (and available to users debugging custom state
+        manipulations).  Checks: loads match the assignment exactly,
+        blocked machines host nothing, offline implies blocked, and the
+        replica-group tables agree with the shard descriptions.
+        """
+        recomputed = np.zeros_like(self._loads)
+        placed = self._assign != UNASSIGNED
+        if np.any(placed):
+            np.add.at(recomputed, self._assign[placed], self._demand[placed])
+        if not np.allclose(self._loads, recomputed, atol=1e-6):
+            raise ValueError("loads diverged from the assignment")
+        counts = self.shard_counts()
+        bad = np.flatnonzero(self._blocked & (counts > 0))
+        if bad.size:
+            raise ValueError(f"blocked machines host shards: {bad.tolist()}")
+        if np.any(self._offline & ~self._blocked):
+            raise ValueError("offline machines must be blocked")
+        for group, members in self._replica_groups.items():
+            for j in members:
+                if self._shards[int(j)].replica_of != group:
+                    raise ValueError(f"replica table inconsistent at shard {j}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterState(m={self.num_machines}, n={self.num_shards}, "
+            f"d={self.dims}, peak={self.peak_utilization():.3f})"
+        )

@@ -1,0 +1,6 @@
+"""Public facade of the library."""
+
+from repro.core.rebalancer import ResourceExchangeRebalancer
+from repro.core.report import RebalanceReport
+
+__all__ = ["ResourceExchangeRebalancer", "RebalanceReport"]

@@ -1,0 +1,126 @@
+"""Inverted index with NumPy postings.
+
+Postings are stored per term as parallel arrays ``(doc_ids, term_freqs)``
+sorted by doc id — the structure every search engine core uses, minus
+compression.  Index statistics (document count, average length, per-term
+document frequency) feed the BM25 scorer, and the byte/size accessors
+feed the shard demand model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.engine.text import Document
+
+__all__ = ["Postings", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class Postings:
+    """One term's posting list: doc ids (sorted) and term frequencies."""
+
+    doc_ids: np.ndarray
+    term_freqs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.doc_ids.shape != self.term_freqs.shape:
+            raise ValueError("doc_ids and term_freqs must be parallel arrays")
+
+    def __len__(self) -> int:
+        return int(self.doc_ids.shape[0])
+
+
+class InvertedIndex:
+    """Immutable inverted index over a document collection.
+
+    Build with :meth:`build`; query via :meth:`postings` (returns None for
+    out-of-vocabulary terms).  Document ids are the original ``doc_id``
+    values — they need not be dense, so per-shard indexes keep global ids.
+    """
+
+    def __init__(
+        self,
+        postings: Mapping[str, Postings],
+        doc_lengths: Mapping[int, int],
+    ) -> None:
+        self._postings = dict(postings)
+        self._doc_lengths = dict(doc_lengths)
+        total = sum(self._doc_lengths.values())
+        self._avgdl = total / len(self._doc_lengths) if self._doc_lengths else 0.0
+
+    # ---------------------------------------------------------------- build
+    @staticmethod
+    def build(docs: Iterable[Document]) -> "InvertedIndex":
+        """Build an index from documents (single pass, O(total tokens))."""
+        doc_lengths: dict[int, int] = {}
+        term_docs: dict[str, dict[int, int]] = {}
+        for doc in docs:
+            if doc.doc_id in doc_lengths:
+                raise ValueError(f"duplicate doc_id {doc.doc_id}")
+            doc_lengths[doc.doc_id] = len(doc)
+            for tok in doc.tokens:
+                term_docs.setdefault(tok, {})
+                term_docs[tok][doc.doc_id] = term_docs[tok].get(doc.doc_id, 0) + 1
+        if not doc_lengths:
+            raise ValueError("cannot build an index over zero documents")
+        postings: dict[str, Postings] = {}
+        for term, tfs in term_docs.items():
+            ids = np.fromiter(tfs.keys(), dtype=np.int64, count=len(tfs))
+            freqs = np.fromiter(tfs.values(), dtype=np.int64, count=len(tfs))
+            order = np.argsort(ids)
+            postings[term] = Postings(ids[order], freqs[order])
+        return InvertedIndex(postings, doc_lengths)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_docs(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def avg_doc_length(self) -> float:
+        return self._avgdl
+
+    def postings(self, term: str) -> Postings | None:
+        """Posting list of *term*, or None when out of vocabulary."""
+        return self._postings.get(term)
+
+    def document_frequency(self, term: str) -> int:
+        p = self._postings.get(term)
+        return len(p) if p is not None else 0
+
+    def doc_length(self, doc_id: int) -> int:
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise KeyError(f"unknown doc_id {doc_id}") from None
+
+    def doc_ids(self) -> np.ndarray:
+        """All document ids in this index (sorted)."""
+        return np.array(sorted(self._doc_lengths), dtype=np.int64)
+
+    def terms(self) -> Iterable[str]:
+        """All indexed terms (arbitrary order)."""
+        return self._postings.keys()
+
+    def doc_lengths_map(self) -> dict[int, int]:
+        """Copy of the doc-length table (used by the scorer)."""
+        return dict(self._doc_lengths)
+
+    # ----------------------------------------------------------- size model
+    def total_postings(self) -> int:
+        """Number of (term, doc) entries — the traversal-cost unit."""
+        return sum(len(p) for p in self._postings.values())
+
+    def size_bytes(self) -> int:
+        """Approximate on-disk size: 8 bytes per posting entry pair + term table."""
+        return 16 * self.total_postings() + sum(
+            len(t) for t in self._postings
+        )

@@ -1,0 +1,159 @@
+"""MaxScore dynamic pruning.
+
+Exhaustive BM25 (``BM25Scorer``) touches every posting of every query
+term.  MaxScore (Turtle & Flood 1995) skips documents that provably
+cannot enter the top-k: terms are ordered by their *maximum possible
+score contribution*; once the top-k heap's threshold exceeds the summed
+bounds of the lowest-impact ("non-essential") terms, documents appearing
+**only** in those lists can be skipped entirely, and per-document
+evaluation stops early when the remaining bounds cannot lift the score
+over the threshold.
+
+This is the query-processing optimization the authors' companion paper
+("Hybrid Dynamic Pruning", 2020) studies; here it serves two purposes:
+(a) an engine-substrate feature a production system would have, and
+(b) a second, cheaper service-cost profile for the serving simulation.
+
+The results are exact: :class:`MaxScoreScorer` returns the same top-k
+(same scores) as the exhaustive scorer.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.engine.index import InvertedIndex
+from repro.engine.scoring import BM25Scorer, CollectionStats, ScoredDoc
+from repro.engine.text import Query
+
+__all__ = ["MaxScoreScorer"]
+
+
+class MaxScoreScorer:
+    """Top-k BM25 with MaxScore pruning (exact; see module docstring).
+
+    Parameters mirror :class:`BM25Scorer`; the ``work`` counter returned
+    by :meth:`search` counts postings *touched* (cursor reads and random
+    lookups), making it directly comparable to the exhaustive scorer's
+    postings count.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        *,
+        stats: CollectionStats | None = None,
+        k1: float = 1.2,
+        b: float = 0.75,
+    ) -> None:
+        # Reuse the exhaustive scorer's normalization machinery.
+        self._exhaustive = BM25Scorer(index, stats=stats, k1=k1, b=b)
+        self.index = index
+        self.k1 = k1
+        self.b = b
+        # Per-term score upper bounds, computed once at build time (real
+        # engines store these next to the posting lists).
+        self._max_score: dict[str, float] = {}
+        doc_rows = self._exhaustive._id_to_row
+        norm = self._exhaustive._norm
+        for term in index.terms():
+            plist = index.postings(term)
+            rows = np.fromiter(
+                (doc_rows[int(d)] for d in plist.doc_ids),
+                dtype=np.int64,
+                count=len(plist),
+            )
+            tf = plist.term_freqs.astype(np.float64)
+            contrib = (
+                self._exhaustive.idf(term) * tf * (k1 + 1.0) / (tf + norm[rows])
+            )
+            self._max_score[term] = float(contrib.max()) if contrib.size else 0.0
+
+    # ---------------------------------------------------------------- query
+    def term_upper_bound(self, term: str) -> float:
+        """Maximum score contribution *term* can make to any document."""
+        return self._max_score.get(term, 0.0)
+
+    def search(self, query: Query, k: int = 10) -> tuple[list[ScoredDoc], int]:
+        """Exact top-*k* with pruning; returns ``(results, postings_touched)``."""
+        check_positive("k", k)
+        scorer = self._exhaustive
+        terms = [t for t in dict.fromkeys(query.terms) if self.index.postings(t)]
+        if not terms:
+            return [], 0
+        # Order by increasing max contribution; prefix sums give the
+        # bound of the first s ("non-essential") terms.
+        terms.sort(key=self.term_upper_bound)
+        bounds = np.array([self.term_upper_bound(t) for t in terms])
+        prefix = np.concatenate([[0.0], np.cumsum(bounds)])
+
+        plists = [self.index.postings(t) for t in terms]
+        cursors = [0] * len(terms)
+        work = 0
+        heap: list[tuple[float, int]] = []  # (score, row) min-heap of top-k
+
+        def threshold() -> float:
+            return heap[0][0] if len(heap) >= k else 0.0
+
+        # s = number of non-essential terms (their combined bound <= θ).
+        while True:
+            theta = threshold()
+            s = int(np.searchsorted(prefix, theta, side="right")) - 1
+            s = min(s, len(terms) - 1)  # at least one essential term
+            # Next candidate: min current doc over essential lists.
+            candidate = None
+            for t in range(s, len(terms)):
+                c = cursors[t]
+                if c < len(plists[t]):
+                    d = int(plists[t].doc_ids[c])
+                    if candidate is None or d < candidate:
+                        candidate = d
+            if candidate is None:
+                break
+
+            row = scorer._id_to_row[candidate]
+            score = 0.0
+            # Essential terms: advance cursors and score.
+            for t in range(s, len(terms)):
+                plist = plists[t]
+                c = cursors[t]
+                if c < len(plist) and int(plist.doc_ids[c]) == candidate:
+                    tf = float(plist.term_freqs[c])
+                    score += (
+                        scorer.idf(terms[t])
+                        * tf
+                        * (self.k1 + 1.0)
+                        / (tf + scorer._norm[row])
+                    )
+                    cursors[t] = c + 1
+                    work += 1
+            # Non-essential terms, highest bound first, with early exit.
+            for t in range(s - 1, -1, -1):
+                if score + prefix[t + 1] <= theta:
+                    break  # cannot reach the top-k even with all bounds
+                plist = plists[t]
+                pos = int(np.searchsorted(plist.doc_ids, candidate))
+                work += 1
+                if pos < len(plist) and int(plist.doc_ids[pos]) == candidate:
+                    tf = float(plist.term_freqs[pos])
+                    score += (
+                        scorer.idf(terms[t])
+                        * tf
+                        * (self.k1 + 1.0)
+                        / (tf + scorer._norm[row])
+                    )
+            if score > theta or len(heap) < k:
+                if len(heap) < k:
+                    heapq.heappush(heap, (score, row))
+                elif score > heap[0][0]:
+                    heapq.heapreplace(heap, (score, row))
+
+        doc_ids = scorer._doc_ids
+        out = sorted(
+            (ScoredDoc(int(doc_ids[row]), float(sc)) for sc, row in heap),
+            key=lambda d: -d.score,
+        )
+        return out, work

@@ -1,0 +1,151 @@
+"""Tokenization and synthetic corpus/query generation.
+
+The engine substrate needs text whose statistics look like web text:
+Zipf-distributed term frequencies, lognormal document lengths, and a
+query stream whose term popularity correlates with (but is not equal to)
+corpus term frequency.  The generator produces token streams directly —
+there is no reason to detour through strings and re-tokenize — but
+:func:`tokenize` exists for user-supplied documents and queries.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._validation import check_positive
+
+__all__ = ["tokenize", "Document", "Query", "CorpusConfig", "generate_corpus", "generate_queries"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphanumeric tokenization (the engine's only analyzer)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class Document:
+    """A document: dense integer id plus its token list."""
+
+    doc_id: int
+    tokens: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise ValueError(f"doc_id must be >= 0, got {self.doc_id}")
+        if not self.tokens:
+            raise ValueError("document must contain at least one token")
+
+    @staticmethod
+    def from_text(doc_id: int, text: str) -> "Document":
+        return Document(doc_id, tuple(tokenize(text)))
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query: token list (analyzed the same way as documents)."""
+
+    terms: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("query must contain at least one term")
+
+    @staticmethod
+    def from_text(text: str) -> "Query":
+        toks = tokenize(text)
+        if not toks:
+            raise ValueError(f"query text {text!r} has no tokens")
+        return Query(tuple(toks))
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Synthetic corpus parameters.
+
+    Attributes
+    ----------
+    num_docs:
+        Corpus size.
+    vocab_size:
+        Distinct terms; term ``t<k>`` has Zipf rank ``k``.
+    zipf_alpha:
+        Term-frequency skew (≈1.0 for natural language).
+    mean_doc_len / sigma_doc_len:
+        Lognormal document length parameters (tokens).
+    seed:
+        RNG seed.
+    """
+
+    num_docs: int = 1000
+    vocab_size: int = 5000
+    zipf_alpha: float = 1.05
+    mean_doc_len: float = 120.0
+    sigma_doc_len: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_docs", self.num_docs)
+        check_positive("vocab_size", self.vocab_size)
+        check_positive("zipf_alpha", self.zipf_alpha)
+        check_positive("mean_doc_len", self.mean_doc_len)
+        check_positive("sigma_doc_len", self.sigma_doc_len)
+
+
+def _term_probs(vocab_size: int, alpha: float) -> np.ndarray:
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    p = ranks ** (-alpha)
+    return p / p.sum()
+
+
+def generate_corpus(cfg: CorpusConfig) -> list[Document]:
+    """Generate a deterministic synthetic corpus (see :class:`CorpusConfig`)."""
+    rng = np.random.default_rng(cfg.seed)
+    probs = _term_probs(cfg.vocab_size, cfg.zipf_alpha)
+    # Lognormal lengths centred on mean_doc_len.
+    mu = np.log(cfg.mean_doc_len) - cfg.sigma_doc_len**2 / 2
+    lengths = np.maximum(
+        1, rng.lognormal(mu, cfg.sigma_doc_len, size=cfg.num_docs).astype(np.int64)
+    )
+    vocab = np.array([f"t{k}" for k in range(cfg.vocab_size)])
+    docs: list[Document] = []
+    for doc_id in range(cfg.num_docs):
+        term_ids = rng.choice(cfg.vocab_size, size=int(lengths[doc_id]), p=probs)
+        docs.append(Document(doc_id, tuple(vocab[term_ids])))
+    return docs
+
+
+def generate_queries(
+    cfg: CorpusConfig,
+    num_queries: int,
+    *,
+    terms_per_query: tuple[int, int] = (1, 4),
+    popularity_alpha: float = 0.9,
+    seed: int | None = None,
+) -> list[Query]:
+    """Generate a query stream against a :func:`generate_corpus` corpus.
+
+    Query-term popularity follows its own (milder) Zipf law over the same
+    vocabulary — popular corpus terms tend to be popular query terms, the
+    correlation that makes some shards hot.
+    """
+    check_positive("num_queries", num_queries)
+    lo, hi = terms_per_query
+    if not 1 <= lo <= hi:
+        raise ValueError(f"terms_per_query must satisfy 1 <= lo <= hi, got {terms_per_query}")
+    rng = np.random.default_rng(cfg.seed + 104729 if seed is None else seed)
+    probs = _term_probs(cfg.vocab_size, popularity_alpha)
+    queries: list[Query] = []
+    for _ in range(num_queries):
+        k = int(rng.integers(lo, hi + 1))
+        term_ids = rng.choice(cfg.vocab_size, size=k, p=probs, replace=False)
+        queries.append(Query(tuple(f"t{t}" for t in term_ids)))
+    return queries

@@ -1,0 +1,100 @@
+"""ASCII chart rendering for experiment figures.
+
+The paper's evaluation is figures as much as tables; in an offline,
+plotting-library-free environment the honest equivalent is a character
+plot.  The benchmarks render the figure-shaped experiments (E2, E4,
+E13, ...) with these helpers and persist them next to the tables under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._validation import check_positive
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a marker from a fixed cycle; a legend maps markers
+    to names.  Axes are linearly scaled to the data's bounding box.
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return f"{title or 'chart'}\n(no data)"
+
+    xs = np.array([p[0] for pts in series.values() for p in pts], dtype=float)
+    ys = np.array([p[1] for pts in series.values() for p in pts], dtype=float)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for k, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_s, y_lo_s = f"{y_hi:.4g}", f"{y_lo:.4g}"
+    pad = max(len(y_hi_s), len(y_lo_s))
+    for r, row in enumerate(grid):
+        label = y_hi_s if r == 0 else (y_lo_s if r == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(f"{' ' * pad} +{'-' * width}")
+    x_axis = f"{x_lo:.4g}".ljust(width - len(f"{x_hi:.4g}")) + f"{x_hi:.4g}"
+    lines.append(f"{' ' * pad}  {x_axis}")
+    lines.append(f"{' ' * pad}  {x_label} →   ({y_label} ↑)")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart (non-negative values)."""
+    check_positive("width", width)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return f"{title or 'chart'}\n(no data)"
+    vals = np.asarray(values, dtype=float)
+    if np.any(vals < 0):
+        raise ValueError("bar_chart requires non-negative values")
+    top = float(vals.max()) or 1.0
+    name_pad = max(len(str(x)) for x in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, vals):
+        bar = "█" * max(1 if v > 0 else 0, int(round(v / top * width)))
+        lines.append(f"{str(label).rjust(name_pad)} |{bar.ljust(width)} {v:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Shared experiment helpers."""
+
+from __future__ import annotations
+
+from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.cluster import ClusterState, ExchangeLedger
+from repro.workloads import make_exchange_machines
+
+__all__ = ["make_sra", "run_sra_with_exchange"]
+
+
+def make_sra(iterations: int, seed: int = 0, **sra_kwargs) -> SRA:
+    """SRA with the experiment-standard configuration."""
+    return SRA(SRAConfig(alns=AlnsConfig(iterations=iterations, seed=seed), **sra_kwargs))
+
+
+def run_sra_with_exchange(
+    state: ClusterState,
+    budget: int,
+    *,
+    iterations: int,
+    seed: int = 0,
+    required_returns: int | None = None,
+    **sra_kwargs,
+):
+    """Borrow *budget* machines, run SRA, return (result, grown, ledger)."""
+    grown, ledger = ExchangeLedger.borrow(
+        state,
+        make_exchange_machines(state, budget),
+        required_returns=required_returns,
+    )
+    result = make_sra(iterations, seed, **sra_kwargs).rebalance(grown, ledger)
+    return result, grown, ledger

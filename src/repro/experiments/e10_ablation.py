@@ -1,0 +1,59 @@
+"""E10 — SRA design ablations (paper analogue: the design-choices table;
+DESIGN.md §6).
+
+Variants on the tight suite, all with a 2-machine exchange budget:
+
+* ``full``         — SRA as shipped;
+* ``no-vacancy``   — without the vacancy-minting / designee-swap destroy
+  operators (generic LNS only);
+* ``no-coupling``  — transient schedulability not checked during search
+  (post-hoc only);
+* ``no-adaptive``  — operator weights frozen (reaction = 0);
+* ``hill-climb``   — SA acceptance disabled (temperature ~ 0);
+* ``no-polish``    — final steepest-descent polish disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.cluster import ExchangeLedger
+from repro.experiments.harness import register
+from repro.workloads import make_exchange_machines, tight_suite
+
+
+def _variants(iterations: int, seed: int) -> dict[str, SRAConfig]:
+    base = SRAConfig(alns=AlnsConfig(iterations=iterations, seed=seed))
+    return {
+        "full": base,
+        "no-vacancy": replace(base, use_vacancy_removal=False),
+        "no-coupling": replace(base, feasibility_coupling=False),
+        "no-adaptive": replace(base, alns=replace(base.alns, reaction=0.0)),
+        "hill-climb": replace(
+            base, alns=replace(base.alns, start_temperature_ratio=1e-9)
+        ),
+        "no-polish": replace(base, polish=False),
+    }
+
+
+@register("e10")
+def run(fast: bool = True) -> list[dict]:
+    seeds = (0,) if fast else (0, 1, 2)
+    iterations = 600 if fast else 2500
+    rows = []
+    for name, state in tight_suite(seeds=seeds):
+        grown, ledger = ExchangeLedger.borrow(state, make_exchange_machines(state, 2))
+        for variant, cfg in _variants(iterations, seed=1).items():
+            result = SRA(cfg).rebalance(grown, ledger)
+            rows.append(
+                {
+                    "instance": name,
+                    "variant": variant,
+                    "peak_after": result.peak_after,
+                    "feasible": result.feasible,
+                    "moves": result.num_moves,
+                    "runtime_s": result.runtime_seconds,
+                }
+            )
+    return rows

@@ -1,0 +1,106 @@
+"""E14 — MaxScore dynamic pruning (extension, after the authors'
+companion paper "Hybrid Dynamic Pruning", 2020).
+
+Measures postings touched by exhaustive BM25 vs MaxScore on the same
+query stream, broken down by query length, and the knock-on effect on
+serving latency (cheaper service times at equal arrival rate).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cluster import ClusterState, Machine
+from repro.engine import (
+    BM25Scorer,
+    CorpusConfig,
+    InvertedIndex,
+    MaxScoreScorer,
+    ShardedIndex,
+    generate_corpus,
+    generate_queries,
+)
+from repro.experiments.harness import register
+from repro.simulate import ServingConfig, WorkProfile, simulate_serving
+
+
+@register("e14")
+def run(fast: bool = True) -> list[dict]:
+    num_docs = 3000 if fast else 20000
+    num_queries = 200 if fast else 1000
+    cfg = CorpusConfig(num_docs=num_docs, vocab_size=4000, seed=13)
+    docs = generate_corpus(cfg)
+    index = InvertedIndex.build(docs)
+    exhaustive = BM25Scorer(index)
+    pruned = MaxScoreScorer(index)
+
+    by_len: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for q in generate_queries(cfg, num_queries, terms_per_query=(1, 5), seed=17):
+        _, w_full = exhaustive.search(q, k=10)
+        _, w_pruned = pruned.search(q, k=10)
+        by_len[len(q.terms)].append((w_full, w_pruned))
+
+    rows = []
+    for qlen in sorted(by_len):
+        pairs = by_len[qlen]
+        full = float(np.mean([p[0] for p in pairs]))
+        prn = float(np.mean([p[1] for p in pairs]))
+        rows.append(
+            {
+                "series": "work",
+                "query_len": qlen,
+                "queries": len(pairs),
+                "exhaustive_postings": full,
+                "maxscore_postings": prn,
+                "savings_pct": 100.0 * (1.0 - prn / max(full, 1e-9)),
+            }
+        )
+
+    # Serving effect: same placement and arrivals, service costs from the
+    # two evaluation strategies.
+    num_shards = 12 if fast else 32
+    sharded = ShardedIndex.build(docs, num_shards)
+    queries = generate_queries(cfg, 100 if fast else 400, seed=19)
+    full_profile = WorkProfile.measure(sharded, queries)
+    pruned_rows = []
+    for q in queries:
+        row = []
+        for ix in sharded.indexes:
+            _, w = MaxScoreScorer(ix, stats=sharded.stats).search(q, k=10)
+            row.append(w)
+        pruned_rows.append(row)
+    pruned_profile = WorkProfile(np.asarray(pruned_rows, dtype=np.float64))
+
+    demand = full_profile.shard_load_share()
+    machines = Machine.homogeneous(4, {"cpu": 4.0, "ram": 1e12, "disk": 1e12})
+    from repro.cluster import Shard
+
+    shards = [
+        Shard(
+            id=s,
+            demand=np.array([max(float(demand[s]), 1e-9), 1.0, 1.0]),
+        )
+        for s in range(num_shards)
+    ]
+    state = ClusterState(machines, shards, [s % 4 for s in range(num_shards)])
+    serving = ServingConfig(
+        arrival_rate=40.0,
+        duration=30.0,
+        postings_per_cpu_second=3e4 if fast else 1e5,
+        seed=23,
+    )
+    for label, profile in (("exhaustive", full_profile), ("maxscore", pruned_profile)):
+        report = simulate_serving(state, profile, list(range(num_shards)), serving)
+        rows.append(
+            {
+                "series": "latency",
+                "strategy": label,
+                "p50_ms": 1e3 * report.latency.p50,
+                "p99_ms": 1e3 * report.latency.p99,
+                "mean_ms": 1e3 * report.latency.mean,
+                "peak_busy": report.peak_busy_fraction,
+            }
+        )
+    return rows

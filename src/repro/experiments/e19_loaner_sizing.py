@@ -1,0 +1,52 @@
+"""E19 — what size spare machines should the pool hold? (extension)
+
+Sweeps the borrowed machines' capacity relative to the fleet mean
+(0.5×, 1×, 2×) at a fixed budget B = 1 on tight instances.  A bigger
+loaner is a better staging host and packing target — but the contract
+returns a *count* of machines, so lending big and getting back average
+machines drains the pool's capacity over time.  Reported: balance
+gained per episode and the capacity the pool nets back under the
+``count`` vs ``capacity`` return policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import ExchangeLedger
+from repro.experiments.common import make_sra
+from repro.experiments.harness import register
+from repro.workloads import make_exchange_machines, tight_suite
+
+
+@register("e19")
+def run(fast: bool = True) -> list[dict]:
+    seeds = (0, 1) if fast else (0, 1, 2, 3)
+    scales = (0.5, 1.0, 2.0)
+    iterations = 600 if fast else 2000
+    rows = []
+    for name, state in tight_suite(seeds=seeds):
+        for scale in scales:
+            grown, ledger = ExchangeLedger.borrow(
+                state, make_exchange_machines(state, 1, capacity_scale=scale)
+            )
+            result = make_sra(iterations, seed=1).rebalance(grown, ledger)
+            returned_capacity = (
+                float(np.sum(result.settlement.returned_capacity))
+                if result.settlement is not None
+                else 0.0
+            )
+            lent_capacity = float(np.sum(ledger.borrowed_capacity()))
+            rows.append(
+                {
+                    "instance": name,
+                    "loaner_scale": scale,
+                    "peak_before": result.peak_before,
+                    "peak_after": result.peak_after,
+                    "feasible": result.feasible,
+                    "lent_capacity": lent_capacity,
+                    "returned_capacity": returned_capacity,
+                    "pool_capacity_delta": returned_capacity - lent_capacity,
+                }
+            )
+    return rows

@@ -1,0 +1,36 @@
+"""E1 — instance characteristics table (paper analogue: Table 1).
+
+One row per instance of the synthetic and datacenter suites: sizes,
+tightness, and the initial imbalance the rebalancers start from.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import register
+from repro.metrics import imbalance_report
+from repro.workloads import datacenter_suite, synthetic_suite
+
+
+@register("e1")
+def run(fast: bool = True) -> list[dict]:
+    seeds = (0,) if fast else (0, 1, 2)
+    utils = (0.6, 0.9) if fast else (0.6, 0.75, 0.9)
+    machines = 20 if fast else 50
+    instances = synthetic_suite(utilizations=utils, seeds=seeds, num_machines=machines)
+    instances += datacenter_suite(seeds=seeds)
+    rows = []
+    for name, state in instances:
+        rep = imbalance_report(state)
+        rows.append(
+            {
+                "instance": name,
+                "machines": state.num_machines,
+                "shards": state.num_shards,
+                "dims": state.dims,
+                "tightness": float(state.mean_utilization().max()),
+                "init_peak": rep.peak_utilization,
+                "init_cv": rep.cv,
+                "init_jain": rep.jain,
+            }
+        )
+    return rows

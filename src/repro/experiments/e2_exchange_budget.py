@@ -1,0 +1,38 @@
+"""E2 — balance vs exchange budget (paper analogue: the exchange-budget figure).
+
+Sweeps the number of borrowed machines ``B`` (with ``R = B`` returned)
+on tight instances and reports the peak utilization SRA achieves.  The
+paper's claim: more exchangeable machines → better balance, with the
+largest marginal gain at small B.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_sra_with_exchange
+from repro.experiments.harness import register
+from repro.workloads import tight_suite
+
+
+@register("e2")
+def run(fast: bool = True) -> list[dict]:
+    seeds = (0,) if fast else (0, 1, 2)
+    budgets = (0, 1, 2, 4) if fast else (0, 1, 2, 3, 4, 6, 8)
+    iterations = 800 if fast else 2500
+    rows = []
+    for name, state in tight_suite(seeds=seeds):
+        for b in budgets:
+            result, grown, _ = run_sra_with_exchange(
+                state, b, iterations=iterations, seed=1
+            )
+            rows.append(
+                {
+                    "instance": name,
+                    "budget_B": b,
+                    "peak_before": result.peak_before,
+                    "peak_after": result.peak_after,
+                    "feasible": result.feasible,
+                    "moves": result.num_moves,
+                    "staging_hops": result.plan.num_hops if result.plan else 0,
+                }
+            )
+    return rows

@@ -1,0 +1,58 @@
+"""E5 — datacenter snapshots (paper analogue: the real-data table).
+
+Before/after balance, migration cost, exchange accounting and runtime on
+drifted datacenter snapshots (the substitution for the paper's
+production data; DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import LocalSearchRebalancer
+from repro.core import ResourceExchangeRebalancer
+from repro.experiments.common import make_sra
+from repro.experiments.harness import register
+from repro.migration import BandwidthModel
+from repro.workloads import datacenter_suite
+
+#: Datacenter shard sizes are expressed in GB (the disk dimension of the
+#: generator), so bandwidth is GB/s — 1.25 GB/s ≈ one 10 GbE NIC.
+_NET = BandwidthModel(bandwidth=1.25)
+
+
+@register("e5")
+def run(fast: bool = True) -> list[dict]:
+    seeds = (0,) if fast else (0, 1, 2)
+    iterations = 2000 if fast else 5000
+    rows = []
+    for name, state in datacenter_suite(seeds=seeds):
+        for algo_name, rebalancer in (
+            (
+                "local-search",
+                ResourceExchangeRebalancer(LocalSearchRebalancer(seed=1), bandwidth=_NET),
+            ),
+            (
+                "sra-b2",
+                ResourceExchangeRebalancer(
+                    make_sra(iterations, seed=1), exchange_machines=2, bandwidth=_NET
+                ),
+            ),
+        ):
+            report = rebalancer.run(state)
+            rows.append(
+                {
+                    "instance": name,
+                    "algorithm": algo_name,
+                    "peak_before": report.before.peak_utilization,
+                    "peak_after": report.after.peak_utilization,
+                    "cv_after": report.after.cv,
+                    "moves": report.migration.num_moves,
+                    "gb_moved": report.migration.total_bytes,
+                    "makespan_s": report.migration.makespan_seconds,
+                    "borrowed": report.borrowed,
+                    "returned": report.returned,
+                    "exchanged": report.exchanged,
+                    "feasible": report.feasible,
+                    "runtime_s": report.result.runtime_seconds,
+                }
+            )
+    return rows

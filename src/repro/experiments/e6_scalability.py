@@ -1,0 +1,39 @@
+"""E6 — runtime scaling (paper analogue: the scalability figure).
+
+Wall-clock per LNS iteration as instance size grows.  The per-iteration
+cost of SRA is dominated by the repair's O(q·m·d) score maintenance, so
+time per iteration should grow roughly linearly in n (q is a fraction of
+n) times m.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import make_sra
+from repro.experiments.harness import register
+from repro.workloads import scaling_suite
+
+
+@register("e6")
+def run(fast: bool = True) -> list[dict]:
+    sizes = ((20, 6), (50, 6), (100, 6)) if fast else ((20, 6), (50, 6), (100, 6), (200, 6), (400, 6))
+    iterations = 200 if fast else 500
+    rows = []
+    for name, state in scaling_suite(sizes=sizes):
+        sra = make_sra(iterations, seed=1)
+        started = time.perf_counter()
+        result = sra.rebalance(state)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "instance": name,
+                "machines": state.num_machines,
+                "shards": state.num_shards,
+                "iterations": result.iterations,
+                "runtime_s": elapsed,
+                "ms_per_iter": 1e3 * elapsed / max(result.iterations, 1),
+                "peak_after": result.peak_after,
+            }
+        )
+    return rows

@@ -1,0 +1,117 @@
+"""E8 — serving latency before/after rebalancing (paper analogue: the
+quality-of-service figure; the paper's motivation made measurable).
+
+Pipeline:
+
+1. generate a corpus and query stream, build a sharded inverted index;
+2. **measure** per-shard resource demands and per-query work by executing
+   the real engine (no invented numbers);
+3. place the shards on a machine fleet with a skewed initial placement;
+4. rebalance with SRA (+2 exchange machines);
+5. simulate Poisson query serving (fan-out, FCFS queues) before and
+   after, and report latency percentiles.
+
+Claim to verify: tail latency tracks peak machine utilization, so the
+rebalanced placement cuts p99 substantially while p50 moves little.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import ClusterState, Machine
+from repro.engine import CorpusConfig, ShardedIndex, generate_corpus, generate_queries
+from repro.experiments.common import run_sra_with_exchange
+from repro.experiments.harness import register
+from repro.simulate import ServingConfig, WorkProfile, simulate_serving
+
+#: Engine→cluster calibration shared by demand model and simulator.
+_QPS = 60.0
+_POSTINGS_PER_CPU_SECOND = 2e5
+
+
+@register("e8")
+def run(fast: bool = True) -> list[dict]:
+    num_docs = 4000 if fast else 20000
+    num_shards = 24 if fast else 48
+    num_machines = 6 if fast else 12
+    num_queries = 150 if fast else 500
+    iterations = 500 if fast else 2000
+    duration = 40.0 if fast else 120.0
+
+    cfg = CorpusConfig(num_docs=num_docs, vocab_size=4000, seed=3)
+    docs = generate_corpus(cfg)
+    index = ShardedIndex.build(docs, num_shards)
+    queries = generate_queries(cfg, num_queries)
+    profile = WorkProfile.measure(index, queries)
+    shards = index.to_cluster_shards(
+        queries,
+        queries_per_second=_QPS,
+        postings_per_cpu_second=_POSTINGS_PER_CPU_SECOND,
+    )
+
+    # Fleet sized for ~75% mean utilization on the binding dimension.
+    demand = np.stack([s.demand for s in shards])
+    capacity = demand.sum(axis=0) / (num_machines * 0.75)
+    machines = Machine.homogeneous(
+        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity)}
+    )
+
+    # Skewed initial placement (capacity-feasible first-fit on a biased order).
+    rng = np.random.default_rng(7)
+    weights = rng.dirichlet(np.full(num_machines, 1.5))
+    assign = _biased_feasible_placement(demand, capacity, weights, rng)
+    state = ClusterState(machines, shards, assign)
+
+    result, grown, _ = run_sra_with_exchange(state, 2, iterations=iterations, seed=1)
+    after = grown.copy()
+    after.apply_assignment(result.target_assignment)
+
+    serving = ServingConfig(
+        arrival_rate=_QPS,
+        duration=duration,
+        postings_per_cpu_second=_POSTINGS_PER_CPU_SECOND,
+        seed=11,
+    )
+    mapping = list(range(len(shards)))
+    rows = []
+    for label, st in (("before", grown), ("after-sra", after)):
+        report = simulate_serving(st, profile, mapping, serving)
+        lat = report.latency
+        rows.append(
+            {
+                "placement": label,
+                "peak_util": st.peak_utilization(),
+                "p50_ms": 1e3 * lat.p50,
+                "p90_ms": 1e3 * lat.p90,
+                "p95_ms": 1e3 * lat.p95,
+                "p99_ms": 1e3 * lat.p99,
+                "mean_ms": 1e3 * lat.mean,
+                "queries": lat.count,
+                "peak_busy": report.peak_busy_fraction,
+            }
+        )
+    return rows
+
+
+def _biased_feasible_placement(demand, capacity, weights, rng) -> np.ndarray:
+    """Weight-biased placement that stays within capacity (falls back to
+    the least-loaded machine when the drawn machine is full)."""
+    m = weights.shape[0]
+    loads = np.zeros((m, demand.shape[1]))
+    assign = np.empty(demand.shape[0], dtype=np.int64)
+    for j in rng.permutation(demand.shape[0]):
+        order = list(rng.choice(m, size=m, replace=False, p=weights))
+        placed = False
+        for i in order:
+            if np.all(loads[i] + demand[j] <= capacity + 1e-12):
+                assign[j] = i
+                loads[i] += demand[j]
+                placed = True
+                break
+        if not placed:
+            util = ((loads + demand[j]) / capacity).max(axis=1)
+            i = int(np.argmin(util))
+            assign[j] = i
+            loads[i] += demand[j]
+    return assign

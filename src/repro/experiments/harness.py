@@ -1,0 +1,75 @@
+"""Experiment harness: row tables, fast/full switching, registry.
+
+Every experiment module exposes ``run(fast=True) -> list[dict]`` and a
+module docstring naming the paper analogue.  ``fast`` mode (the default,
+used by CI and the benchmark suite) shrinks instance counts and search
+budgets so the whole suite finishes in minutes; ``REPRO_FULL=1`` in the
+environment switches every benchmark to full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["is_full_run", "format_table", "print_table", "REGISTRY", "register"]
+
+#: name -> run callable; populated by the e*_ modules at import.
+REGISTRY: dict[str, Callable[..., list[dict[str, Any]]]] = {}
+
+
+def register(name: str):
+    """Decorator registering an experiment's ``run`` under *name*."""
+
+    def deco(fn):
+        REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def is_full_run() -> bool:
+    """True when the environment requests full-scale experiments."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], *, title: str | None = None) -> str:
+    """Render rows as an aligned console table (all rows share columns)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols: list[str] = []
+    for row in rows:  # union of keys, first-seen order
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[k]) for row in cells)) for k, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, Any]], *, title: str | None = None) -> None:
+    """Print :func:`format_table` output."""
+    print()
+    print(format_table(rows, title=title))

@@ -1,0 +1,20 @@
+"""Balance and migration metrics."""
+
+from repro.metrics.imbalance import (
+    ImbalanceReport,
+    coefficient_of_variation,
+    imbalance_ratio,
+    imbalance_report,
+    jain_index,
+)
+from repro.metrics.migration import MigrationSummary, summarize_plan
+
+__all__ = [
+    "coefficient_of_variation",
+    "jain_index",
+    "imbalance_ratio",
+    "ImbalanceReport",
+    "imbalance_report",
+    "MigrationSummary",
+    "summarize_plan",
+]

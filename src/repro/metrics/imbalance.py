@@ -1,0 +1,98 @@
+"""Load-imbalance metrics.
+
+All metrics operate on a cluster's per-machine peak utilization vector
+(worst dimension per machine), the quantity that governs both QoS
+headroom and fan-out tail latency:
+
+* **peak** — the paper's primary objective (max over machines);
+* **CV** — coefficient of variation, a scale-free spread measure;
+* **Jain index** — fairness in (1/m, 1]; 1 = perfectly even;
+* **imbalance ratio** — peak / mean, ≥ 1; 1 = perfectly even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import ClusterState
+
+__all__ = [
+    "coefficient_of_variation",
+    "jain_index",
+    "imbalance_ratio",
+    "ImbalanceReport",
+    "imbalance_report",
+]
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """std / mean (0 for a constant vector; 0 mean ⇒ 0 by convention)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    mean = values.mean()
+    if mean == 0:
+        return 0.0
+    return float(values.std() / mean)
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²) ∈ (1/n, 1]."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    denom = values.size * float((values**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(values.sum() ** 2 / denom)
+
+
+def imbalance_ratio(values: np.ndarray) -> float:
+    """max / mean, ≥ 1 for non-degenerate inputs."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    mean = values.mean()
+    if mean == 0:
+        return 1.0
+    return float(values.max() / mean)
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    """Snapshot of a cluster's balance."""
+
+    peak_utilization: float
+    mean_peak_utilization: float
+    cv: float
+    jain: float
+    ratio: float
+    overloaded_machines: int
+    vacant_machines: int
+
+    def row(self) -> dict[str, float]:
+        return {
+            "peak": self.peak_utilization,
+            "mean": self.mean_peak_utilization,
+            "cv": self.cv,
+            "jain": self.jain,
+            "ratio": self.ratio,
+            "overloaded": self.overloaded_machines,
+            "vacant": self.vacant_machines,
+        }
+
+
+def imbalance_report(state: ClusterState) -> ImbalanceReport:
+    """Compute all balance metrics for *state*."""
+    peaks = state.machine_peak_utilization()
+    return ImbalanceReport(
+        peak_utilization=float(peaks.max()),
+        mean_peak_utilization=float(peaks.mean()),
+        cv=coefficient_of_variation(peaks),
+        jain=jain_index(peaks),
+        ratio=imbalance_ratio(peaks),
+        overloaded_machines=int(len(state.overloaded_machines())),
+        vacant_machines=int(len(state.vacant_machines())),
+    )

@@ -1,0 +1,53 @@
+"""Migration-cost summaries for reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.migration import BandwidthModel, PlanResult
+
+__all__ = ["MigrationSummary", "summarize_plan"]
+
+
+@dataclass(frozen=True)
+class MigrationSummary:
+    """Flat summary of a migration plan for result tables."""
+
+    num_moves: int
+    num_hops: int
+    num_waves: int
+    total_bytes: float
+    makespan_seconds: float
+    direct_feasible: bool
+    feasible: bool
+
+    def row(self) -> dict[str, float]:
+        return {
+            "moves": self.num_moves,
+            "hops": self.num_hops,
+            "waves": self.num_waves,
+            "bytes": self.total_bytes,
+            "makespan_s": self.makespan_seconds,
+            "direct": float(self.direct_feasible),
+            "feasible": float(self.feasible),
+        }
+
+
+def summarize_plan(
+    plan: PlanResult,
+    num_machines: int,
+    bandwidth: BandwidthModel | None = None,
+) -> MigrationSummary:
+    """Summarize *plan* under a bandwidth model (default 10 GbE)."""
+    model = bandwidth or BandwidthModel()
+    cost = model.cost(plan.schedule, num_machines)
+    logical_moves = len({mv.shard_id for mv in plan.schedule.all_moves()})
+    return MigrationSummary(
+        num_moves=logical_moves,
+        num_hops=plan.num_hops,
+        num_waves=cost.num_waves,
+        total_bytes=cost.total_bytes,
+        makespan_seconds=cost.makespan_seconds,
+        direct_feasible=plan.direct_feasible,
+        feasible=plan.feasible,
+    )

@@ -1,0 +1,24 @@
+"""Migration planning under transient resource constraints."""
+
+from repro.migration.costmodel import BandwidthModel, MigrationCost
+from repro.migration.moves import Move, diff_moves
+from repro.migration.scheduler import Schedule, WaveScheduler
+from repro.migration.staging import (
+    PlanResult,
+    StagingPlanner,
+    deadlock_cycles,
+    dependency_graph,
+)
+
+__all__ = [
+    "Move",
+    "diff_moves",
+    "Schedule",
+    "WaveScheduler",
+    "StagingPlanner",
+    "PlanResult",
+    "dependency_graph",
+    "deadlock_cycles",
+    "BandwidthModel",
+    "MigrationCost",
+]

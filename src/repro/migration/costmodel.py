@@ -1,0 +1,72 @@
+"""Migration cost model: bytes, time and makespan.
+
+A simple, defensible network model: every machine has one NIC of
+``bandwidth`` bytes/second, full duplex.  Moves in the same wave run
+concurrently but share the NICs of their endpoints, so a wave lasts as
+long as its busiest NIC:
+
+``wave_time = max_machine( bytes_out/bw , bytes_in/bw )``
+
+and the makespan is the sum of wave times.  The model deliberately
+ignores cross-wave pipelining (waves are barriers) — conservative, and
+consistent with how index copies are actually sequenced (a shard copy
+must be complete and verified before the source is dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.migration.scheduler import Schedule
+
+__all__ = ["BandwidthModel", "MigrationCost"]
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Summary of a schedule's cost under a bandwidth model."""
+
+    total_bytes: float
+    num_moves: int
+    num_waves: int
+    num_staging_hops: int
+    makespan_seconds: float
+    wave_seconds: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Per-machine NIC bandwidth in bytes/second (full duplex)."""
+
+    bandwidth: float = 1.25e9  # 10 GbE
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+
+    def wave_duration(self, wave, num_machines: int) -> float:
+        """Duration of one wave: busiest NIC's transfer time."""
+        out_bytes = np.zeros(num_machines)
+        in_bytes = np.zeros(num_machines)
+        for mv in wave:
+            out_bytes[mv.src] += mv.bytes
+            in_bytes[mv.dst] += mv.bytes
+        busiest = max(float(out_bytes.max(initial=0.0)), float(in_bytes.max(initial=0.0)))
+        return busiest / self.bandwidth
+
+    def cost(self, schedule: Schedule, num_machines: int) -> MigrationCost:
+        """Full cost summary for *schedule*."""
+        wave_secs = tuple(
+            self.wave_duration(wave, num_machines) for wave in schedule.waves
+        )
+        hops = sum(1 for mv in schedule.all_moves() if mv.is_staged_hop)
+        return MigrationCost(
+            total_bytes=schedule.total_bytes(),
+            num_moves=schedule.num_moves,
+            num_waves=schedule.num_waves,
+            num_staging_hops=hops,
+            makespan_seconds=float(sum(wave_secs)),
+            wave_seconds=wave_secs,
+        )

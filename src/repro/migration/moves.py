@@ -1,0 +1,74 @@
+"""Move primitives: the difference between two assignments.
+
+A :class:`Move` relocates one shard from its current machine to a target
+machine.  While a move is *in flight* the shard's resources are held on
+both machines — the transient resource constraint that motivates the
+whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import ClusterState
+
+__all__ = ["Move", "diff_moves"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Relocate ``shard_id`` from ``src`` to ``dst``.
+
+    ``bytes`` is the data volume to copy (drives the makespan model).
+    ``hop_of`` is -1 for direct moves; staged (multi-hop) moves record the
+    shard's original source so reports can group hops per logical move.
+    """
+
+    shard_id: int
+    src: int
+    dst: int
+    bytes: float
+    hop_of: int = -1
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"move of shard {self.shard_id} has src == dst == {self.src}")
+        if self.bytes < 0:
+            raise ValueError(f"move bytes must be >= 0, got {self.bytes}")
+
+    @property
+    def is_staged_hop(self) -> bool:
+        return self.hop_of >= 0
+
+
+def diff_moves(
+    state: ClusterState,
+    target_assignment: np.ndarray,
+) -> list[Move]:
+    """Moves turning *state*'s current assignment into *target_assignment*.
+
+    Shards already in place generate no move.  The state must be fully
+    assigned; the target must reference valid machines.
+    """
+    if not state.is_fully_assigned():
+        raise ValueError("diff requires a fully assigned state")
+    target = np.asarray(target_assignment, dtype=np.int64)
+    if target.shape != (state.num_shards,):
+        raise ValueError(
+            f"target must have shape ({state.num_shards},), got {target.shape}"
+        )
+    if np.any((target < 0) | (target >= state.num_machines)):
+        raise ValueError("target references unknown machines")
+    current = state.assignment_view()
+    changed = np.flatnonzero(current != target)
+    return [
+        Move(
+            shard_id=int(j),
+            src=int(current[j]),
+            dst=int(target[j]),
+            bytes=float(state.sizes[j]),
+        )
+        for j in changed
+    ]

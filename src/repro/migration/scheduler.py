@@ -1,0 +1,159 @@
+"""Wave scheduling of shard moves under the transient resource constraint.
+
+The scheduler orders a set of moves into **waves**.  All moves in a wave
+run concurrently; while a move is in flight its shard's demand is held on
+*both* the source and the destination machine.  A move may start in a wave
+only if, counting every in-flight copy, no machine exceeds capacity.
+Sources release their copy when the wave completes.
+
+When no remaining move can start, the residual move set is **capacity
+deadlocked** (machines must mutually free space for each other).  The
+scheduler reports stranded moves; :mod:`repro.migration.staging` breaks
+such deadlocks by routing shards through machines with spare headroom —
+which is exactly the role borrowed exchange machines play in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster import ClusterState
+from repro.migration.moves import Move
+
+__all__ = ["Schedule", "WaveScheduler"]
+
+
+@dataclass
+class Schedule:
+    """Result of wave scheduling.
+
+    Attributes
+    ----------
+    waves:
+        Ordered list of concurrent move batches.
+    stranded:
+        Moves that could not be scheduled (empty iff ``feasible``).
+    peak_transient_utilization:
+        Highest machine utilization observed at any point during the
+        migration, in-flight copies included.
+    """
+
+    waves: list[list[Move]] = field(default_factory=list)
+    stranded: list[Move] = field(default_factory=list)
+    peak_transient_utilization: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return not self.stranded
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def num_moves(self) -> int:
+        return sum(len(w) for w in self.waves)
+
+    def all_moves(self) -> list[Move]:
+        """Scheduled moves in execution order."""
+        return [mv for wave in self.waves for mv in wave]
+
+    def total_bytes(self) -> float:
+        """Bytes copied by the scheduled moves (staging hops included)."""
+        return float(sum(mv.bytes for mv in self.all_moves()))
+
+
+class WaveScheduler:
+    """Greedy transient-feasible wave construction.
+
+    Parameters
+    ----------
+    atol:
+        Capacity-comparison tolerance.
+    prefer_large_first:
+        Within a wave, try to start large moves first — draining heavy
+        shards early frees the most space for later waves (greedy
+        heuristic; both orders are admissible).
+    """
+
+    def __init__(self, *, atol: float = 1e-9, prefer_large_first: bool = True) -> None:
+        self.atol = atol
+        self.prefer_large_first = prefer_large_first
+
+    def schedule(self, state: ClusterState, moves: list[Move]) -> Schedule:
+        """Schedule *moves* starting from *state*'s current placement.
+
+        The input state is not mutated.  Moves must reference shards that
+        currently sit on their ``src`` (as produced by ``diff_moves`` or a
+        prior staging hop sequence — hop chains are handled because later
+        hops only become startable after the earlier hop retires).
+        """
+        loads = state.loads.copy()
+        capacity = state.capacity
+        demand = state.demand
+        # Shard location tracking so multi-hop chains schedule correctly.
+        location = state.assignment.copy()
+
+        pending = list(moves)
+        if self.prefer_large_first:
+            pending.sort(key=lambda mv: -mv.bytes)
+        schedule = Schedule()
+        peak = float(np.max(loads / capacity)) if pending else 0.0
+        has_replicas = bool(state.replica_groups)
+
+        while pending:
+            wave: list[Move] = []
+            in_flight = np.zeros_like(loads)
+            started: set[int] = set()  # shards moving this wave
+            for mv in pending:
+                if mv.shard_id in started:
+                    continue  # one hop per shard per wave
+                if location[mv.shard_id] != mv.src:
+                    continue  # earlier hop not completed yet
+                if has_replicas and self._replica_blocked(
+                    state, location, mv.shard_id, mv.dst
+                ):
+                    continue  # a sibling currently lives on the destination
+                extra = demand[mv.shard_id]
+                if np.all(
+                    loads[mv.dst] + in_flight[mv.dst] + extra
+                    <= capacity[mv.dst] + self.atol
+                ):
+                    in_flight[mv.dst] += extra
+                    wave.append(mv)
+                    started.add(mv.shard_id)
+            if not wave:
+                schedule.stranded = pending
+                break
+            # Peak transient utilization during this wave.
+            peak = max(peak, float(np.max((loads + in_flight) / capacity)))
+            # Retire the wave: release sources, land destinations.
+            for mv in wave:
+                loads[mv.src] -= demand[mv.shard_id]
+                loads[mv.dst] += demand[mv.shard_id]
+                location[mv.shard_id] = mv.dst
+            schedule.waves.append(wave)
+            done = {id(mv) for mv in wave}
+            pending = [mv for mv in pending if id(mv) not in done]
+
+        schedule.peak_transient_utilization = peak
+        return schedule
+
+    def is_feasible(self, state: ClusterState, moves: list[Move]) -> bool:
+        """True when every move can be scheduled without staging."""
+        return self.schedule(state, moves).feasible
+
+    @staticmethod
+    def _replica_blocked(
+        state: ClusterState, location: np.ndarray, shard_id: int, dst: int
+    ) -> bool:
+        """True when a sibling replica currently occupies *dst*.
+
+        Transient anti-affinity: even a copy in flight must not share a
+        machine with a sibling, or a single machine failure during the
+        migration would take out two replicas of one logical shard.
+        """
+        peers = state.replica_peers(shard_id)
+        return bool(peers.size and np.any(location[peers] == dst))

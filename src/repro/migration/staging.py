@@ -1,0 +1,261 @@
+"""Deadlock analysis and multi-hop staging.
+
+When the wave scheduler strands moves, the residual instance contains a
+**capacity deadlock**: every remaining destination is full until some
+other remaining move frees it — a cycle in the space-dependency graph.
+The classical fix is to route one shard of the cycle through a third
+machine with spare headroom (two hops instead of one).  Borrowed exchange
+machines, being vacant, are the ideal staging hosts; this module is where
+their value for *feasibility* (not just balance) materializes, and is
+measured by experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.cluster import ClusterState
+from repro.migration.moves import Move, diff_moves
+from repro.migration.scheduler import Schedule, WaveScheduler
+
+__all__ = ["dependency_graph", "deadlock_cycles", "StagingPlanner", "PlanResult"]
+
+
+def dependency_graph(state: ClusterState, moves: list[Move]) -> nx.DiGraph:
+    """Space-dependency digraph over machines.
+
+    Edge ``s -> t`` means some move wants to push demand from ``s`` into
+    ``t`` while ``t`` currently lacks headroom for it — i.e. ``t`` must be
+    drained (by its own outgoing moves) before ``s`` can proceed.  Cycles
+    in this graph witness capacity deadlocks.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(range(state.num_machines))
+    headroom = state.headroom()
+    for mv in moves:
+        if not np.all(state.demand[mv.shard_id] <= headroom[mv.dst] + 1e-9):
+            g.add_edge(mv.src, mv.dst, shard=mv.shard_id)
+    return g
+
+
+def deadlock_cycles(state: ClusterState, moves: list[Move]) -> list[list[int]]:
+    """Machine cycles currently blocking progress (may be empty)."""
+    g = dependency_graph(state, moves)
+    return [list(c) for c in nx.simple_cycles(g)]
+
+
+@dataclass
+class PlanResult:
+    """A complete migration plan.
+
+    Attributes
+    ----------
+    schedule:
+        The wave schedule actually executed (staging hops included).
+    staged_shards:
+        Shards that needed an intermediate hop.
+    feasible:
+        Whether every required move was scheduled.
+    direct_feasible:
+        Whether the plan would have been feasible *without* staging —
+        the paper's "stringent resource environment" indicator.
+    """
+
+    schedule: Schedule
+    staged_shards: tuple[int, ...] = ()
+    direct_feasible: bool = True
+
+    @property
+    def feasible(self) -> bool:
+        return self.schedule.feasible
+
+    @property
+    def num_hops(self) -> int:
+        return sum(1 for mv in self.schedule.all_moves() if mv.is_staged_hop)
+
+
+class StagingPlanner:
+    """Plan a transient-feasible migration, staging through spare headroom.
+
+    Parameters
+    ----------
+    scheduler:
+        Wave scheduler used for feasibility checking and final ordering.
+    max_hops_per_shard:
+        Staging depth limit; 1 intermediate hop suffices for all capacity
+        deadlocks that any single machine's headroom can break, higher
+        values let chains of staging hosts be used.
+    prefer_exchange_hosts:
+        Stage through borrowed (exchange) machines before in-service ones.
+    """
+
+    def __init__(
+        self,
+        scheduler: WaveScheduler | None = None,
+        *,
+        max_hops_per_shard: int = 2,
+        prefer_exchange_hosts: bool = True,
+    ) -> None:
+        if max_hops_per_shard < 1:
+            raise ValueError("max_hops_per_shard must be >= 1")
+        self.scheduler = scheduler or WaveScheduler()
+        self.max_hops_per_shard = max_hops_per_shard
+        self.prefer_exchange_hosts = prefer_exchange_hosts
+
+    # ------------------------------------------------------------------ API
+    def plan(self, state: ClusterState, target_assignment: np.ndarray) -> PlanResult:
+        """Produce a feasible schedule from *state* to *target_assignment*.
+
+        Staging is attempted only when direct scheduling strands moves.
+        The input state is never mutated.
+        """
+        moves = diff_moves(state, target_assignment)
+        direct = self.scheduler.schedule(state, moves)
+        if direct.feasible:
+            return PlanResult(schedule=direct, direct_feasible=True)
+
+        staged_schedule, staged_shards = self._stage(state, moves)
+        if staged_schedule is None:
+            return PlanResult(schedule=direct, direct_feasible=False)
+        return PlanResult(
+            schedule=staged_schedule,
+            staged_shards=tuple(sorted(staged_shards)),
+            direct_feasible=False,
+        )
+
+    # ------------------------------------------------------------- internal
+    def _stage(
+        self, state: ClusterState, moves: list[Move]
+    ) -> tuple[Schedule | None, set[int]]:
+        """Greedy wave simulation with on-demand staging.
+
+        Builds the wave schedule directly (the returned schedule IS the
+        simulated execution — it is never re-derived, which could fail
+        since greedy wave packing is order-sensitive).  When no move can
+        start, reroutes one stranded shard through the machine with the
+        most headroom and continues.  Returns (None, shards) when no
+        staging host exists for any stranded move.
+        """
+        loads = state.loads.copy()
+        capacity = state.capacity
+        demand = state.demand
+        location = state.assignment.copy()
+        hops_used: dict[int, int] = {}
+        staged_shards: set[int] = set()
+        schedule = Schedule()
+        peak = float(np.max(loads / capacity))
+        pending: list[Move] = sorted(moves, key=lambda mv: -mv.bytes)
+        exchange_mask = state.exchange_mask
+
+        guard = 0
+        while pending:
+            guard += 1
+            if guard > 4 * len(moves) + 16:
+                return None, staged_shards  # should not happen; safety net
+            progressed = False
+            wave: list[Move] = []
+            in_flight = np.zeros_like(loads)
+            started: set[int] = set()
+            for mv in pending:
+                if mv.shard_id in started or location[mv.shard_id] != mv.src:
+                    continue
+                if WaveScheduler._replica_blocked(state, location, mv.shard_id, mv.dst):
+                    continue
+                extra = demand[mv.shard_id]
+                if np.all(
+                    loads[mv.dst] + in_flight[mv.dst] + extra <= capacity[mv.dst] + 1e-9
+                ):
+                    in_flight[mv.dst] += extra
+                    wave.append(mv)
+                    started.add(mv.shard_id)
+            if wave:
+                peak = max(peak, float(np.max((loads + in_flight) / capacity)))
+                for mv in wave:
+                    loads[mv.src] -= demand[mv.shard_id]
+                    loads[mv.dst] += demand[mv.shard_id]
+                    location[mv.shard_id] = mv.dst
+                done = {id(mv) for mv in wave}
+                pending = [mv for mv in pending if id(mv) not in done]
+                schedule.waves.append(wave)
+                progressed = True
+                continue
+
+            # Deadlock: stage one stranded move through a spare machine.
+            for k, mv in enumerate(pending):
+                if location[mv.shard_id] != mv.src:
+                    continue
+                if hops_used.get(mv.shard_id, 0) >= self.max_hops_per_shard:
+                    continue
+                host = self._staging_host(
+                    mv,
+                    loads,
+                    capacity,
+                    demand[mv.shard_id],
+                    exchange_mask,
+                    blocked=state.offline_mask,
+                    sibling_hosts=location[state.replica_peers(mv.shard_id)],
+                )
+                if host is None:
+                    continue
+                hop1 = Move(
+                    shard_id=mv.shard_id,
+                    src=mv.src,
+                    dst=host,
+                    bytes=mv.bytes,
+                    hop_of=mv.src,
+                )
+                hop2 = Move(
+                    shard_id=mv.shard_id,
+                    src=host,
+                    dst=mv.dst,
+                    bytes=mv.bytes,
+                    hop_of=mv.src,
+                )
+                pending[k : k + 1] = [hop1, hop2]
+                hops_used[mv.shard_id] = hops_used.get(mv.shard_id, 0) + 1
+                staged_shards.add(mv.shard_id)
+                progressed = True
+                break
+            if not progressed:
+                return None, staged_shards
+        schedule.peak_transient_utilization = peak
+        return schedule, staged_shards
+
+    def _staging_host(
+        self,
+        mv: Move,
+        loads: np.ndarray,
+        capacity: np.ndarray,
+        extra: np.ndarray,
+        exchange_mask: np.ndarray,
+        blocked: np.ndarray | None = None,
+        sibling_hosts: np.ndarray | None = None,
+    ) -> int | None:
+        """Best machine able to temporarily hold the shard, or None.
+
+        Offline (failed) machines are never used as staging hosts;
+        blocked designated-return machines remain legitimate hosts (they
+        are only handed back once the migration completes).
+        """
+        headroom = capacity - loads
+        fits = np.all(headroom >= extra - 1e-12, axis=1)
+        fits[mv.src] = False
+        fits[mv.dst] = False
+        if blocked is not None:
+            fits[blocked] = False
+        if sibling_hosts is not None and sibling_hosts.size:
+            valid = sibling_hosts[(sibling_hosts >= 0) & (sibling_hosts < fits.size)]
+            fits[valid] = False
+        candidates = np.flatnonzero(fits)
+        if candidates.size == 0:
+            return None
+        slack = headroom[candidates].min(axis=1)
+        if self.prefer_exchange_hosts:
+            is_exch = exchange_mask[candidates]
+            order = np.lexsort((-slack, ~is_exch))
+        else:
+            order = np.argsort(-slack)
+        return int(candidates[order[0]])

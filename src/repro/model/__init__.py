@@ -1,0 +1,15 @@
+"""The paper's linearly constrained IP model and exact solvers."""
+
+from repro.model.branch_and_bound import BranchAndBoundSolver
+from repro.model.formulation import BuiltModel, ModelConfig, build_model
+from repro.model.solver import MilpResult, MilpSolver, lp_relaxation_bound
+
+__all__ = [
+    "ModelConfig",
+    "BuiltModel",
+    "build_model",
+    "MilpSolver",
+    "BranchAndBoundSolver",
+    "MilpResult",
+    "lp_relaxation_bound",
+]

@@ -1,0 +1,245 @@
+"""The linearly constrained IP model of the shard reassignment problem.
+
+This is the formulation from DESIGN.md §1.1, reproducing the paper's
+"linearly constrained integer programming (IP) model".  Variables:
+
+* ``x[j, i] ∈ {0, 1}`` — shard ``j`` ends on machine ``i``;
+* ``y[i] ∈ {0, 1}`` — machine ``i`` is vacant at the end;
+* ``z ∈ [0, 1]``   — peak normalized utilization (continuous).
+
+Objective: ``minimize z + λ · Σ_j w_j · (1 − x[j, a0(j)])`` — balance the
+cluster, with a tunable penalty on migrated bytes.
+
+Constraints (all linear):
+
+1. assignment:       ``Σ_i x[j,i] = 1``                       ∀ j
+2. peak definition:  ``Σ_j r_j[k]·x[j,i] ≤ C_i[k]·z``         ∀ i, k
+3. hard capacity:    ``Σ_j r_j[k]·x[j,i] ≤ C_i[k]``           ∀ i, k
+4. vacancy linking:  ``Σ_j x[j,i] ≤ n·(1 − y[i])``            ∀ i
+5. vacancy return:   ``Σ_i y[i] ≥ R``
+6. anti-affinity:    ``Σ_{j∈g} x[j,i] ≤ 1``                   ∀ machine i, replica group g
+
+The builder emits sparse matrices consumable by ``scipy.optimize.milp``.
+Variable order: ``x`` flattened row-major (shard-major), then ``y``,
+then ``z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro._validation import check_non_negative
+from repro.cluster import ClusterState
+
+__all__ = ["ModelConfig", "BuiltModel", "build_model"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Knobs of the IP model.
+
+    Attributes
+    ----------
+    required_returns:
+        ``R`` — number of machines that must end vacant.
+    move_penalty:
+        ``λ`` — objective weight per *normalized* migrated byte (shard
+        sizes are normalized by the total shard bytes, so ``λ`` is the
+        objective cost of migrating the whole index once).  A small
+        positive value breaks ties toward fewer moves without trading
+        away balance; 0 ignores migration cost.
+    forbid_exchange_overuse:
+        When True, machines flagged ``exchange`` count toward the vacancy
+        pool like any other machine (the default, matching the paper's
+        exchange semantics).  Reserved for ablations.
+    """
+
+    required_returns: int = 0
+    move_penalty: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_non_negative("required_returns", self.required_returns)
+        check_non_negative("move_penalty", self.move_penalty)
+
+
+@dataclass
+class BuiltModel:
+    """Matrices of one model instance, ready for a MILP solver.
+
+    ``A_ub x ≤ b_ub``, ``A_eq x = b_eq``, ``bounds``, binary mask, and the
+    objective vector ``c`` (plus ``objective_offset`` so reported objective
+    values match the paper's form with the ``(1 − x)`` term).
+    """
+
+    c: np.ndarray
+    objective_offset: float
+    A_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    A_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray
+    num_shards: int
+    num_machines: int
+
+    def x_index(self, shard: int, machine: int) -> int:
+        """Column of variable ``x[shard, machine]``."""
+        return shard * self.num_machines + machine
+
+    def y_index(self, machine: int) -> int:
+        """Column of variable ``y[machine]``."""
+        return self.num_shards * self.num_machines + machine
+
+    @property
+    def z_index(self) -> int:
+        """Column of variable ``z``."""
+        return self.num_shards * self.num_machines + self.num_machines
+
+    @property
+    def num_variables(self) -> int:
+        return self.z_index + 1
+
+    def extract_assignment(self, solution: np.ndarray) -> np.ndarray:
+        """Decode an (integral) solution vector into an assignment array."""
+        n, m = self.num_shards, self.num_machines
+        x = solution[: n * m].reshape(n, m)
+        return np.argmax(x, axis=1).astype(np.int64)
+
+
+def build_model(state: ClusterState, config: ModelConfig) -> BuiltModel:
+    """Build the IP matrices for *state* under *config*.
+
+    The state must be fully assigned (``a0`` is read from it).  Machines
+    flagged ``exchange`` need no special treatment here: they are ordinary
+    machines that happen to start vacant, exactly as in the paper.
+    """
+    if not state.is_fully_assigned():
+        raise ValueError("model requires a fully assigned initial state")
+    n, m, d = state.num_shards, state.num_machines, state.dims
+    a0 = state.assignment_view()
+    demand = state.demand  # (n, d)
+    capacity = state.capacity  # (m, d)
+    nvar = n * m + m + 1
+    z_col = n * m + m
+
+    # ------------------------------------------------------------- objective
+    c = np.zeros(nvar)
+    c[z_col] = 1.0
+    total_bytes = float(state.sizes.sum())
+    offset = 0.0
+    if config.move_penalty > 0 and total_bytes > 0:
+        w = config.move_penalty * state.sizes / total_bytes
+        # λ Σ w_j (1 - x[j, a0_j]) = λ Σ w_j - λ Σ w_j x[j, a0_j]
+        offset = float(w.sum())
+        cols = np.arange(n) * m + a0
+        c[cols] -= w
+
+    # ------------------------------------------------------------- equality
+    # Σ_i x[j,i] = 1 per shard.
+    rows = np.repeat(np.arange(n), m)
+    cols = np.arange(n * m)
+    A_eq = sparse.csr_matrix(
+        (np.ones(n * m), (rows, cols)), shape=(n, nvar)
+    )
+    b_eq = np.ones(n)
+
+    # ----------------------------------------------------------- inequality
+    ub_blocks: list[sparse.coo_matrix] = []
+    b_ub_parts: list[np.ndarray] = []
+
+    # (2) peak definition and (3) hard capacity, one row per (machine, dim).
+    # Column pattern for machine i, dim k: x[j,i] has coefficient r_j[k].
+    x_rows: list[int] = []
+    x_cols: list[int] = []
+    x_vals: list[float] = []
+    row = 0
+    for i in range(m):
+        for k in range(d):
+            jcols = np.arange(n) * m + i
+            x_rows.extend([row] * n)
+            x_cols.extend(jcols.tolist())
+            x_vals.extend(demand[:, k].tolist())
+            row += 1
+    load_block = sparse.coo_matrix(
+        (x_vals, (x_rows, x_cols)), shape=(m * d, nvar)
+    ).tocsr()
+
+    # (2): load - C z <= 0
+    peak = load_block.copy().tolil()
+    cap_flat = capacity.reshape(-1)
+    for r in range(m * d):
+        peak[r, z_col] = -cap_flat[r]
+    ub_blocks.append(peak.tocoo())
+    b_ub_parts.append(np.zeros(m * d))
+
+    # (3): load <= C
+    ub_blocks.append(load_block.tocoo())
+    b_ub_parts.append(cap_flat.copy())
+
+    # (4): Σ_j x[j,i] + n y[i] <= n
+    rows4: list[int] = []
+    cols4: list[int] = []
+    vals4: list[float] = []
+    for i in range(m):
+        jcols = np.arange(n) * m + i
+        rows4.extend([i] * n)
+        cols4.extend(jcols.tolist())
+        vals4.extend([1.0] * n)
+        rows4.append(i)
+        cols4.append(n * m + i)
+        vals4.append(float(n))
+    ub_blocks.append(sparse.coo_matrix((vals4, (rows4, cols4)), shape=(m, nvar)))
+    b_ub_parts.append(np.full(m, float(n)))
+
+    # (6): replica anti-affinity — Σ_{j∈group} x[j,i] <= 1 per machine.
+    groups = [g for g in state.replica_groups.values() if len(g) >= 2]
+    if groups:
+        rows6: list[int] = []
+        cols6: list[int] = []
+        row6 = 0
+        for members in groups:
+            for i in range(m):
+                rows6.extend([row6] * len(members))
+                cols6.extend((int(j) * m + i) for j in members)
+                row6 += 1
+        ub_blocks.append(
+            sparse.coo_matrix(
+                (np.ones(len(cols6)), (rows6, cols6)), shape=(row6, nvar)
+            )
+        )
+        b_ub_parts.append(np.ones(row6))
+
+    # (5): -Σ_i y[i] <= -R
+    if config.required_returns > 0:
+        rows5 = [0] * m
+        cols5 = [n * m + i for i in range(m)]
+        vals5 = [-1.0] * m
+        ub_blocks.append(sparse.coo_matrix((vals5, (rows5, cols5)), shape=(1, nvar)))
+        b_ub_parts.append(np.array([-float(config.required_returns)]))
+
+    A_ub = sparse.vstack(ub_blocks).tocsr()
+    b_ub = np.concatenate(b_ub_parts)
+
+    # ---------------------------------------------------------------- bounds
+    lower = np.zeros(nvar)
+    upper = np.ones(nvar)
+    integrality = np.ones(nvar)
+    integrality[z_col] = 0.0  # z continuous
+
+    return BuiltModel(
+        c=c,
+        objective_offset=offset,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        lower=lower,
+        upper=upper,
+        integrality=integrality,
+        num_shards=n,
+        num_machines=m,
+    )

@@ -1,0 +1,143 @@
+"""Exact and relaxed solvers for the IP model.
+
+:class:`MilpSolver` drives ``scipy.optimize.milp`` (HiGHS) on the matrices
+from :mod:`repro.model.formulation`.  It is practical for the small
+instances of experiment E9 (a few hundred binaries) and serves as ground
+truth for SRA's optimality-gap measurements and tests.
+
+:func:`lp_relaxation_bound` solves the continuous relaxation — a valid
+lower bound on the optimum for any instance size, used to report gaps on
+instances too large to solve exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.cluster import ClusterState
+from repro.model.formulation import BuiltModel, ModelConfig, build_model
+
+__all__ = ["MilpResult", "MilpSolver", "lp_relaxation_bound"]
+
+
+@dataclass(frozen=True)
+class MilpResult:
+    """Outcome of an exact solve.
+
+    Attributes
+    ----------
+    status:
+        ``"optimal"``, ``"infeasible"``, ``"timeout"`` (feasible but not
+        proven optimal within the time budget) or ``"failed"``.
+    assignment:
+        Decoded shard→machine array (present unless infeasible/failed).
+    objective:
+        Objective value in the paper's form (z + λ·moved-bytes term).
+    peak_utilization:
+        The ``z`` component alone.
+    vacant_machines:
+        Machines with ``y[i] = 1`` in the solution.
+    """
+
+    status: str
+    assignment: np.ndarray | None
+    objective: float
+    peak_utilization: float
+    vacant_machines: tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("optimal", "timeout") and self.assignment is not None
+
+
+class MilpSolver:
+    """Exact solver for the shard reassignment IP (HiGHS backend).
+
+    Parameters
+    ----------
+    config:
+        Model knobs (vacancy returns, move penalty).
+    time_limit:
+        Wall-clock budget in seconds handed to HiGHS.
+    mip_gap:
+        Relative optimality gap at which HiGHS may stop early.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig | None = None,
+        *,
+        time_limit: float = 60.0,
+        mip_gap: float = 1e-4,
+    ) -> None:
+        if time_limit <= 0:
+            raise ValueError(f"time_limit must be > 0, got {time_limit}")
+        if mip_gap < 0:
+            raise ValueError(f"mip_gap must be >= 0, got {mip_gap}")
+        self.config = config or ModelConfig()
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+
+    def solve(self, state: ClusterState) -> MilpResult:
+        """Solve the reassignment IP for *state*."""
+        model = build_model(state, self.config)
+        constraints = [
+            optimize.LinearConstraint(model.A_ub, -np.inf, model.b_ub),
+            optimize.LinearConstraint(model.A_eq, model.b_eq, model.b_eq),
+        ]
+        res = optimize.milp(
+            c=model.c,
+            constraints=constraints,
+            integrality=model.integrality,
+            bounds=optimize.Bounds(model.lower, model.upper),
+            options={
+                "time_limit": self.time_limit,
+                "mip_rel_gap": self.mip_gap,
+                "disp": False,
+            },
+        )
+        return self._decode(model, res)
+
+    def _decode(self, model: BuiltModel, res) -> MilpResult:
+        if res.x is None:
+            status = "infeasible" if res.status == 2 else "failed"
+            return MilpResult(
+                status=status,
+                assignment=None,
+                objective=np.inf,
+                peak_utilization=np.inf,
+                vacant_machines=(),
+            )
+        status = "optimal" if res.status == 0 else "timeout"
+        assignment = model.extract_assignment(res.x)
+        z = float(res.x[model.z_index])
+        y = res.x[model.num_shards * model.num_machines : model.z_index]
+        vacant = tuple(int(i) for i in np.flatnonzero(y > 0.5))
+        objective = float(res.fun) + model.objective_offset
+        return MilpResult(
+            status=status,
+            assignment=assignment,
+            objective=objective,
+            peak_utilization=z,
+            vacant_machines=vacant,
+        )
+
+
+def lp_relaxation_bound(state: ClusterState, config: ModelConfig | None = None) -> float:
+    """Objective lower bound from the LP relaxation (any instance size)."""
+    model = build_model(state, config or ModelConfig())
+    res = optimize.linprog(
+        c=model.c,
+        A_ub=model.A_ub,
+        b_ub=model.b_ub,
+        A_eq=model.A_eq,
+        b_eq=model.b_eq,
+        bounds=np.stack([model.lower, model.upper], axis=1),
+        method="highs",
+    )
+    if not res.success:
+        return -np.inf
+    return float(res.fun) + model.objective_offset

@@ -1,0 +1,6 @@
+"""Multi-epoch online rebalancing under workload drift."""
+
+from repro.online.drift import PopularityDrift, apply_demands
+from repro.online.epochs import EpochReport, OnlineSimulator
+
+__all__ = ["PopularityDrift", "apply_demands", "OnlineSimulator", "EpochReport"]

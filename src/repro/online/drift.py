@@ -1,0 +1,103 @@
+"""Workload drift models for multi-epoch studies.
+
+A drift model rewrites shard demands between serving epochs.  The
+default, :class:`PopularityDrift`, models the dominant real-world
+mechanism in search clusters: the *query mix* changes (CPU demand
+follows shard popularity, which random-walks between epochs) while the
+index itself (RAM/disk footprint) stays put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_fraction, check_positive
+from repro.cluster import ClusterState, Shard
+from repro.workloads.synthetic import waterfill_scale
+
+__all__ = ["PopularityDrift", "apply_demands"]
+
+
+def apply_demands(state: ClusterState, new_demand: np.ndarray) -> ClusterState:
+    """New state with *new_demand* installed and the assignment preserved.
+
+    Machines, shard identities, sizes and replica structure carry over —
+    only the demand vectors change (the cluster woke up to a different
+    workload).
+    """
+    if new_demand.shape != state.demand.shape:
+        raise ValueError(
+            f"new_demand must have shape {state.demand.shape}, got {new_demand.shape}"
+        )
+    shards = [
+        Shard(
+            id=sh.id,
+            demand=new_demand[sh.id].copy(),
+            schema=sh.schema,
+            size_bytes=sh.size_bytes,
+            replica_of=sh.replica_of,
+        )
+        for sh in state.shards
+    ]
+    return ClusterState(list(state.machines), shards, state.assignment)
+
+
+@dataclass
+class PopularityDrift:
+    """CPU demand follows a drifting Zipf popularity; RAM/disk are static.
+
+    Attributes
+    ----------
+    drift:
+        Fraction of popularity mass replaced per epoch (0 = static
+        workload, 0.2–0.5 matches diurnal/weekly drift in production).
+    alpha:
+        Zipf exponent of the fresh popularity drawn each epoch.
+    target_utilization:
+        CPU tightness maintained each epoch (total CPU demand is
+        renormalized to this fraction of total CPU capacity).
+    max_shard_fraction:
+        Cap on one shard's CPU demand relative to the mean machine.
+    seed:
+        RNG seed; the drift sequence is deterministic given it.
+    """
+
+    drift: float = 0.3
+    alpha: float = 1.0
+    target_utilization: float = 0.8
+    max_shard_fraction: float = 0.35
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_fraction("drift", self.drift)
+        check_positive("alpha", self.alpha)
+        check_positive("target_utilization", self.target_utilization)
+        check_fraction("max_shard_fraction", self.max_shard_fraction)
+        self._rng = np.random.default_rng(self.seed)
+        self._popularity: np.ndarray | None = None
+
+    def step(self, state: ClusterState) -> ClusterState:
+        """Advance one epoch: returns the state under the drifted workload."""
+        n = state.num_shards
+        if self._popularity is None or self._popularity.shape[0] != n:
+            # Initialize from the current CPU demand profile.
+            cpu_idx = state.schema.index("cpu")
+            base = state.demand[:, cpu_idx]
+            total = base.sum()
+            self._popularity = base / total if total > 0 else np.full(n, 1.0 / n)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        fresh = ranks ** (-self.alpha)
+        self._rng.shuffle(fresh)
+        fresh /= fresh.sum()
+        self._popularity = (1.0 - self.drift) * self._popularity + self.drift * fresh
+
+        cpu_idx = state.schema.index("cpu")
+        total_cpu = state.capacity[:, cpu_idx].sum()
+        cap = self.max_shard_fraction * state.capacity[:, cpu_idx].mean()
+        new_demand = state.demand.copy()
+        new_demand[:, cpu_idx] = waterfill_scale(
+            self._popularity, self.target_utilization * total_cpu, cap
+        )
+        return apply_demands(state, new_demand)

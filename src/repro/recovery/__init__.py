@@ -1,0 +1,5 @@
+"""Machine-failure recovery on top of the rebalancing machinery."""
+
+from repro.recovery.planner import RecoveryPlanner, RecoveryResult, fail_machine
+
+__all__ = ["fail_machine", "RecoveryPlanner", "RecoveryResult"]

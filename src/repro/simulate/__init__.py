@@ -1,0 +1,28 @@
+"""Discrete-event simulation of query serving under a placement."""
+
+from repro.simulate.des import ServingConfig, ServingReport, simulate_serving
+from repro.simulate.migration_load import (
+    MigrationWindowReport,
+    migration_background_load,
+    simulate_migration_window,
+)
+from repro.simulate.latency import LatencySummary, summarize
+from repro.simulate.routing import RoutingPolicy, simulate_routed_serving
+from repro.simulate.traces import diurnal_rate, nonhomogeneous_arrivals
+from repro.simulate.workprofile import WorkProfile
+
+__all__ = [
+    "ServingConfig",
+    "ServingReport",
+    "simulate_serving",
+    "LatencySummary",
+    "summarize",
+    "WorkProfile",
+    "migration_background_load",
+    "MigrationWindowReport",
+    "simulate_migration_window",
+    "RoutingPolicy",
+    "simulate_routed_serving",
+    "diurnal_rate",
+    "nonhomogeneous_arrivals",
+]

@@ -1,0 +1,190 @@
+"""Discrete-event simulation of query serving.
+
+The model:
+
+* Queries arrive in a Poisson stream of ``arrival_rate`` per second.
+* Each query fans out one task per shard; a task queues FCFS at the
+  machine hosting that shard.
+* Each machine is a single server whose speed is its CPU capacity times
+  ``postings_per_cpu_second`` (postings processed per second), optionally
+  derated by per-machine background load (e.g. an in-progress shard
+  migration consuming cycles).
+* A query completes when its slowest shard task completes; its latency is
+  that completion time minus its arrival time.
+
+Fan-out over FCFS queues is what turns one hot machine into a fleet-wide
+p99 problem, which is experiment E8's subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._validation import check_fraction, check_positive
+from repro.cluster import ClusterState
+from repro.simulate.latency import LatencySummary, summarize
+from repro.simulate.workprofile import WorkProfile
+
+__all__ = ["ServingConfig", "ServingReport", "simulate_serving"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Simulation parameters.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Mean query arrivals per second (Poisson).
+    duration:
+        Seconds of arrivals; the simulation then drains all queues.
+    postings_per_cpu_second:
+        Machine speed per unit of CPU capacity.
+    seed:
+        RNG seed for arrivals and query sampling.
+    background_load:
+        Optional per-machine fraction of capacity consumed by background
+        work (machine id → fraction in [0, 1)).
+    """
+
+    arrival_rate: float = 50.0
+    duration: float = 60.0
+    postings_per_cpu_second: float = 2e5
+    seed: int = 0
+    background_load: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        check_positive("duration", self.duration)
+        check_positive("postings_per_cpu_second", self.postings_per_cpu_second)
+        for mid, frac in self.background_load.items():
+            check_fraction(f"background_load[{mid}]", frac)
+            if frac >= 1.0:
+                raise ValueError(f"background_load[{mid}] must be < 1")
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Simulation outputs.
+
+    ``raw_arrivals``/``raw_latencies`` are populated only when the
+    simulation is asked to ``capture_raw`` (e.g. for time-of-day
+    bucketing); they are parallel arrays in arrival order.
+    """
+
+    latency: LatencySummary
+    machine_busy_fraction: np.ndarray
+    queries_completed: int
+    raw_arrivals: np.ndarray | None = None
+    raw_latencies: np.ndarray | None = None
+
+    @property
+    def peak_busy_fraction(self) -> float:
+        return float(self.machine_busy_fraction.max())
+
+
+def simulate_serving(
+    state: ClusterState,
+    profile: WorkProfile,
+    shard_to_engine_shard: Sequence[int] | None = None,
+    config: ServingConfig | None = None,
+    *,
+    arrival_times: np.ndarray | None = None,
+    capture_raw: bool = False,
+) -> ServingReport:
+    """Simulate query serving against *state*'s current placement.
+
+    Parameters
+    ----------
+    state:
+        Cluster placement; shard ``j``'s machine serves the work of
+        engine shard ``shard_to_engine_shard[j]`` (identity by default —
+        cluster shards and engine shards coincide).
+    profile:
+        Measured per-query per-shard work (see :class:`WorkProfile`).
+    config:
+        Simulation parameters.
+    arrival_times:
+        Optional explicit arrival times (e.g. a diurnal trace from
+        :mod:`repro.simulate.traces`); overrides the Poisson process.
+    capture_raw:
+        Also return the per-query arrival/latency arrays.
+
+    Notes
+    -----
+    The CPU dimension of machine capacity sets machine speed.  The
+    simulation is deterministic given the seed.
+    """
+    cfg = config or ServingConfig()
+    mapping = (
+        np.arange(state.num_shards)
+        if shard_to_engine_shard is None
+        else np.asarray(shard_to_engine_shard, dtype=np.int64)
+    )
+    if mapping.shape != (state.num_shards,):
+        raise ValueError("shard_to_engine_shard must map every cluster shard")
+    if np.any((mapping < 0) | (mapping >= profile.num_shards)):
+        raise ValueError("shard_to_engine_shard references unknown engine shards")
+    if not state.is_fully_assigned():
+        raise ValueError("simulation requires a fully assigned state")
+
+    cpu_idx = state.schema.index("cpu") if "cpu" in state.schema.names else 0
+    speed = state.capacity[:, cpu_idx] * cfg.postings_per_cpu_second
+    for mid, frac in cfg.background_load.items():
+        if not 0 <= mid < state.num_machines:
+            raise ValueError(f"background_load references unknown machine {mid}")
+        speed[mid] = speed[mid] * (1.0 - frac)
+
+    rng = np.random.default_rng(cfg.seed)
+    if arrival_times is None:
+        num_arrivals = rng.poisson(cfg.arrival_rate * cfg.duration)
+        arrival_times = np.sort(rng.uniform(0.0, cfg.duration, size=num_arrivals))
+    else:
+        arrival_times = np.sort(np.asarray(arrival_times, dtype=np.float64))
+        if arrival_times.size and arrival_times[0] < 0:
+            raise ValueError("arrival_times must be non-negative")
+        num_arrivals = int(arrival_times.size)
+    query_rows = rng.integers(0, profile.num_queries, size=num_arrivals)
+
+    assign = state.assignment_view()
+    # Machine state: next time each (single-server FCFS) machine is free.
+    free_at = np.zeros(state.num_machines)
+    busy_time = np.zeros(state.num_machines)
+
+    latencies = np.empty(num_arrivals)
+    # Process queries in arrival order.  FCFS per machine with all tasks
+    # of a query enqueued at its arrival instant means each machine
+    # serves tasks in global arrival order — so a single pass in arrival
+    # order, tracking per-machine free time, is an exact simulation.
+    for qi in range(num_arrivals):
+        t = arrival_times[qi]
+        row = profile.work[query_rows[qi]]
+        finish_max = t
+        for j in range(state.num_shards):
+            w = row[mapping[j]]
+            if w <= 0:
+                continue
+            m = assign[j]
+            start = max(t, free_at[m])
+            service = w / speed[m]
+            free_at[m] = start + service
+            busy_time[m] += service
+            if free_at[m] > finish_max:
+                finish_max = free_at[m]
+        latencies[qi] = finish_max - t
+
+    horizon = max(float(free_at.max(initial=0.0)), cfg.duration)
+    return ServingReport(
+        latency=summarize(latencies) if num_arrivals else _empty_summary(),
+        machine_busy_fraction=busy_time / horizon,
+        queries_completed=int(num_arrivals),
+        raw_arrivals=arrival_times.copy() if capture_raw else None,
+        raw_latencies=latencies.copy() if capture_raw else None,
+    )
+
+
+def _empty_summary() -> LatencySummary:
+    return LatencySummary(count=0, mean=0.0, p50=0.0, p90=0.0, p95=0.0, p99=0.0, max=0.0)

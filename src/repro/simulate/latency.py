@@ -1,0 +1,53 @@
+"""Latency collection and percentile summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LatencySummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of a latency sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table printing."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def summarize(latencies: Sequence[float] | np.ndarray) -> LatencySummary:
+    """Summarize a non-empty latency sample."""
+    arr = np.asarray(latencies, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty latency sample")
+    if np.any(arr < 0):
+        raise ValueError("latencies must be non-negative")
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,136 @@
+"""Serving impact of an in-progress migration.
+
+Rebalancing is not free while it runs: every machine that sends or
+receives shard copies spends NIC bandwidth and CPU cycles on the
+transfer.  This module converts a migration plan into per-machine
+**background load** fractions for the serving simulator, so the latency
+cost of the migration window itself becomes measurable (experiment E15).
+
+Model: during the migration window (the plan's makespan), machine ``m``
+is busy transferring for ``transfer_seconds(m) / makespan`` of the time;
+while actively transferring it loses ``transfer_overhead`` of its serving
+capacity (copy checksumming, page-cache pressure, NIC interrupts).  The
+average derating over the window is the product of the two — a
+deliberately simple, conservative model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_fraction, check_positive
+from repro.cluster import ClusterState
+from repro.migration import BandwidthModel, PlanResult
+from repro.simulate.des import ServingConfig, ServingReport, simulate_serving
+from repro.simulate.workprofile import WorkProfile
+
+__all__ = ["migration_background_load", "MigrationWindowReport", "simulate_migration_window"]
+
+
+def migration_background_load(
+    plan: PlanResult,
+    num_machines: int,
+    *,
+    bandwidth: BandwidthModel | None = None,
+    transfer_overhead: float = 0.3,
+) -> dict[int, float]:
+    """Per-machine serving-capacity derating during the migration window.
+
+    Returns ``{machine: fraction}`` for machines with non-zero transfer
+    activity; fractions are in [0, transfer_overhead].
+    """
+    check_fraction("transfer_overhead", transfer_overhead)
+    model = bandwidth or BandwidthModel()
+    cost = model.cost(plan.schedule, num_machines)
+    if cost.makespan_seconds <= 0:
+        return {}
+    transfer_seconds = np.zeros(num_machines)
+    for mv in plan.schedule.all_moves():
+        transfer_seconds[mv.src] += mv.bytes / model.bandwidth
+        transfer_seconds[mv.dst] += mv.bytes / model.bandwidth
+    busy_fraction = np.minimum(transfer_seconds / cost.makespan_seconds, 1.0)
+    out = {
+        int(m): float(transfer_overhead * busy_fraction[m])
+        for m in np.flatnonzero(busy_fraction > 0)
+    }
+    return out
+
+
+@dataclass(frozen=True)
+class MigrationWindowReport:
+    """Latency before, during and after a rebalancing migration."""
+
+    before: ServingReport
+    during: ServingReport
+    after: ServingReport
+    makespan_seconds: float
+
+    def rows(self) -> list[dict]:
+        """Table rows for the experiment harness."""
+        out = []
+        for phase, rep in (
+            ("before", self.before),
+            ("during", self.during),
+            ("after", self.after),
+        ):
+            lat = rep.latency
+            out.append(
+                {
+                    "phase": phase,
+                    "p50_ms": 1e3 * lat.p50,
+                    "p95_ms": 1e3 * lat.p95,
+                    "p99_ms": 1e3 * lat.p99,
+                    "mean_ms": 1e3 * lat.mean,
+                    "peak_busy": rep.peak_busy_fraction,
+                }
+            )
+        return out
+
+
+def simulate_migration_window(
+    initial: ClusterState,
+    final_assignment: np.ndarray,
+    plan: PlanResult,
+    profile: WorkProfile,
+    config: ServingConfig,
+    *,
+    bandwidth: BandwidthModel | None = None,
+    transfer_overhead: float = 0.3,
+    shard_to_engine_shard: list[int] | None = None,
+) -> MigrationWindowReport:
+    """Three-phase serving simulation around a migration.
+
+    * **before** — initial placement, no background load;
+    * **during** — initial placement (conservative: shards serve from
+      their source until the copy lands) plus transfer derating;
+    * **after** — final placement, no background load.
+
+    All three phases replay the same arrival process (same seed), so
+    differences are attributable to placement and derating only.
+    """
+    check_positive("transfer_overhead", transfer_overhead)
+    model = bandwidth or BandwidthModel()
+    load = migration_background_load(
+        plan,
+        initial.num_machines,
+        bandwidth=model,
+        transfer_overhead=transfer_overhead,
+    )
+    before = simulate_serving(initial, profile, shard_to_engine_shard, config)
+    during_cfg = ServingConfig(
+        arrival_rate=config.arrival_rate,
+        duration=config.duration,
+        postings_per_cpu_second=config.postings_per_cpu_second,
+        seed=config.seed,
+        background_load=load,
+    )
+    during = simulate_serving(initial, profile, shard_to_engine_shard, during_cfg)
+    final = initial.copy()
+    final.apply_assignment(final_assignment)
+    after = simulate_serving(final, profile, shard_to_engine_shard, config)
+    makespan = model.cost(plan.schedule, initial.num_machines).makespan_seconds
+    return MigrationWindowReport(
+        before=before, during=during, after=after, makespan_seconds=makespan
+    )

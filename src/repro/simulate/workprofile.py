@@ -1,0 +1,77 @@
+"""Per-query per-shard work profiles.
+
+The simulator needs to know how much work each query causes on each
+shard.  Rather than inventing a distribution, the profile is **measured**
+by executing a real query sample against the sharded index once (the
+broker reports postings traversed per shard); the simulator then replays
+queries drawn from the measured sample.  This keeps the DES fast while
+its service times come from an actual executable engine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.broker import SearchBroker
+from repro.engine.sharding import ShardedIndex
+from repro.engine.text import Query
+
+__all__ = ["WorkProfile"]
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Measured (num_queries, num_shards) work matrix (postings traversed)."""
+
+    work: np.ndarray
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.work, dtype=np.float64)
+        if w.ndim != 2 or w.size == 0:
+            raise ValueError(f"work must be a non-empty 2-D matrix, got shape {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("work must be non-negative")
+        object.__setattr__(self, "work", w)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.work.shape[0])
+
+    @property
+    def num_shards(self) -> int:
+        return int(self.work.shape[1])
+
+    def shard_load_share(self) -> np.ndarray:
+        """(s,) fraction of total work landing on each shard."""
+        totals = self.work.sum(axis=0)
+        return totals / max(totals.sum(), 1e-12)
+
+    @staticmethod
+    def measure(
+        index: ShardedIndex, queries: Sequence[Query], *, k: int = 10
+    ) -> "WorkProfile":
+        """Execute *queries* against *index* and record per-shard work."""
+        if not queries:
+            raise ValueError("queries must be non-empty")
+        broker = SearchBroker(index)
+        rows = [broker.search(q, k=k).shard_work for q in queries]
+        return WorkProfile(np.asarray(rows, dtype=np.float64))
+
+    # ------------------------------------------------------------ persistence
+    def save_json(self, path: str | Path) -> None:
+        """Persist the profile (measuring is the expensive step; replaying
+        a saved profile makes simulation runs byte-reproducible)."""
+        Path(path).write_text(json.dumps({"version": 1, "work": self.work.tolist()}))
+
+    @staticmethod
+    def load_json(path: str | Path) -> "WorkProfile":
+        """Load a profile written by :meth:`save_json`."""
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported WorkProfile version {data.get('version')!r}")
+        return WorkProfile(np.asarray(data["work"], dtype=np.float64))

@@ -1,0 +1,36 @@
+"""Workload and instance generators (synthetic + datacenter substitution)."""
+
+from repro.workloads.datacenter import DEFAULT_MACHINE_MIX, DatacenterConfig, generate_datacenter
+from repro.workloads.replicated import ReplicatedConfig, generate_replicated
+from repro.workloads.suites import (
+    datacenter_suite,
+    scaling_suite,
+    small_suite,
+    synthetic_suite,
+    tight_suite,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate,
+    generate_uniform,
+    generate_zipf,
+    make_exchange_machines,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "generate",
+    "generate_uniform",
+    "generate_zipf",
+    "make_exchange_machines",
+    "DatacenterConfig",
+    "generate_datacenter",
+    "DEFAULT_MACHINE_MIX",
+    "ReplicatedConfig",
+    "generate_replicated",
+    "small_suite",
+    "synthetic_suite",
+    "tight_suite",
+    "datacenter_suite",
+    "scaling_suite",
+]

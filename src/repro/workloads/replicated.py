@@ -1,0 +1,143 @@
+"""Replicated-index instance generator.
+
+Production search indexes replicate every shard (typically 2–3×) for
+availability and query throughput; replicas of one logical shard must
+live on distinct machines (**anti-affinity**), or one machine failure
+would take multiple copies of the same index partition.
+
+This generator extends the synthetic instances with a replication
+factor: logical shards are drawn exactly as in
+:mod:`repro.workloads.synthetic`, each is expanded into ``k`` replica
+shards (query CPU splits across replicas; RAM/disk are full copies), and
+the initial placement respects anti-affinity while still being skewed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.cluster import ClusterState, Machine, Shard
+from repro.workloads.synthetic import SyntheticConfig, _demands  # noqa: WPS450
+
+__all__ = ["ReplicatedConfig", "generate_replicated"]
+
+
+@dataclass(frozen=True)
+class ReplicatedConfig:
+    """Parameters of a replicated instance.
+
+    Attributes
+    ----------
+    base:
+        The synthetic configuration of the *logical* shards
+    (``base.num_shards`` logical shards are drawn).
+    replication_factor:
+        Replicas per logical shard (must be ≤ machine count or
+        anti-affinity is unsatisfiable).
+    """
+
+    base: SyntheticConfig = SyntheticConfig()
+    replication_factor: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("replication_factor", self.replication_factor)
+        if self.replication_factor > self.base.num_machines:
+            raise ValueError(
+                "replication_factor cannot exceed the machine count "
+                f"({self.replication_factor} > {self.base.num_machines})"
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return self.base.num_shards * self.replication_factor
+
+
+def generate_replicated(cfg: ReplicatedConfig) -> ClusterState:
+    """Generate a replicated instance (see :class:`ReplicatedConfig`).
+
+    The placement is anti-affine by construction and skewed by the base
+    config's ``placement_skew`` (skew is applied per replica index so
+    replicas land on different-but-correlated machine subsets).
+    """
+    base = cfg.base
+    k = cfg.replication_factor
+    rng = np.random.default_rng(base.seed)
+    machines = Machine.homogeneous(
+        base.num_machines, base.machine_capacity, schema=base.schema, cls="replicated"
+    )
+    logical = _demands(base, rng)  # (n_logical, d) at target utilization
+
+    # Expand into replicas.  Each replica carries 1/k of the logical
+    # demand: query CPU splits across replicas naturally (each serves
+    # 1/k of the stream), and for RAM/disk this normalization keeps the
+    # *replicated* totals at the configured tightness, so replicated and
+    # unreplicated instances of equal tightness are comparable.
+    per_replica = logical / k
+
+    shards: list[Shard] = []
+    for logical_id in range(base.num_shards):
+        for _ in range(k):
+            shards.append(
+                Shard(
+                    id=len(shards),
+                    demand=per_replica[logical_id].copy(),
+                    schema=base.schema,
+                    replica_of=logical_id,
+                )
+            )
+
+    assign = _anti_affine_placement(cfg, np.stack([s.demand for s in shards]),
+                                    np.array([s.replica_of for s in shards]),
+                                    rng)
+    return ClusterState(machines, shards, assign)
+
+
+def _anti_affine_placement(
+    cfg: ReplicatedConfig,
+    demand: np.ndarray,
+    replica_of: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Skew-weighted placement that never colocates siblings nor overflows."""
+    base = cfg.base
+    m = base.num_machines
+    capacity = np.full((m, demand.shape[1]), base.machine_capacity)
+    loads = np.zeros_like(capacity)
+    assign = np.full(demand.shape[0], -1, dtype=np.int64)
+    concentration = max(1e-3, 10.0 * (1.0 - base.placement_skew)) if base.placement_skew else None
+    weights = (
+        rng.dirichlet(np.full(m, concentration)) if concentration is not None else None
+    )
+    group_hosts: dict[int, set[int]] = {}
+
+    order = np.argsort(-demand.sum(axis=1))
+    for j in order:
+        taken = group_hosts.setdefault(int(replica_of[j]), set())
+        fits = np.all(capacity - loads >= demand[j] - 1e-12, axis=1)
+        for host in taken:
+            fits[host] = False
+        candidates = np.flatnonzero(fits)
+        if candidates.size == 0:
+            raise ValueError(
+                "anti-affine placement failed; lower target_utilization or "
+                "replication_factor"
+            )
+        if weights is not None:
+            p = weights[candidates]
+            total = p.sum()
+            if total > 0:
+                choice = int(rng.choice(candidates, p=p / total))
+            else:
+                choice = int(rng.choice(candidates))
+        else:
+            util_after = (
+                (loads[candidates] + demand[j]) / capacity[candidates]
+            ).max(axis=1)
+            choice = int(candidates[np.argmin(util_after)])
+        assign[j] = choice
+        loads[choice] += demand[j]
+        taken.add(choice)
+    return assign

@@ -1,0 +1,124 @@
+"""Named instance suites used by the experiment harness.
+
+Each suite is a list of ``(name, ClusterState)`` pairs generated from
+fixed seeds, so every benchmark run sees byte-identical instances.  The
+suites mirror the two data sources of the paper's evaluation: synthetic
+data (uniform and Zipf) and datacenter snapshots (our substitution for
+the production data, see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster import ClusterState
+from repro.workloads.datacenter import DatacenterConfig, generate_datacenter
+from repro.workloads.synthetic import SyntheticConfig, generate
+
+__all__ = [
+    "small_suite",
+    "synthetic_suite",
+    "tight_suite",
+    "datacenter_suite",
+    "scaling_suite",
+]
+
+
+def small_suite(seeds: Iterable[int] = (0, 1, 2)) -> list[tuple[str, ClusterState]]:
+    """Tiny instances solvable exactly by the MILP backend (E9)."""
+    out: list[tuple[str, ClusterState]] = []
+    for seed in seeds:
+        for m, spm in ((4, 4), (6, 4), (8, 3)):
+            cfg = SyntheticConfig(
+                num_machines=m,
+                shards_per_machine=spm,
+                target_utilization=0.7,
+                demand_dist="zipf",
+                placement_skew=0.5,
+                seed=seed,
+            )
+            out.append((f"small-m{m}n{cfg.num_shards}-s{seed}", generate(cfg)))
+    return out
+
+
+def synthetic_suite(
+    utilizations: Iterable[float] = (0.6, 0.75, 0.9),
+    seeds: Iterable[int] = (0, 1, 2),
+    *,
+    num_machines: int = 50,
+    shards_per_machine: int = 6,
+) -> list[tuple[str, ClusterState]]:
+    """The main synthetic comparison suite (E1, E3).
+
+    ``shards_per_machine=6`` and ``max_shard_fraction=0.35`` follow
+    production search-shard sizing (tens of GB per shard, a handful per
+    machine); big shards are what make the transient constraint bind and
+    separate the algorithms — see DESIGN.md §3.
+    """
+    out: list[tuple[str, ClusterState]] = []
+    for dist in ("uniform", "zipf"):
+        for util in utilizations:
+            for seed in seeds:
+                cfg = SyntheticConfig(
+                    num_machines=num_machines,
+                    shards_per_machine=shards_per_machine,
+                    target_utilization=util,
+                    demand_dist=dist,  # type: ignore[arg-type]
+                    placement_skew=0.55,
+                    max_shard_fraction=0.35,
+                    seed=seed,
+                )
+                out.append((f"{dist}-u{util:.2f}-s{seed}", generate(cfg)))
+    return out
+
+
+def tight_suite(seeds: Iterable[int] = (0, 1, 2)) -> list[tuple[str, ClusterState]]:
+    """Stringent-resource instances where transient constraints bind (E2, E7)."""
+    out: list[tuple[str, ClusterState]] = []
+    for seed in seeds:
+        cfg = SyntheticConfig(
+            num_machines=40,
+            shards_per_machine=6,
+            target_utilization=0.88,
+            demand_dist="zipf",
+            placement_skew=0.5,
+            max_shard_fraction=0.35,
+            seed=seed,
+        )
+        out.append((f"tight-u0.88-s{seed}", generate(cfg)))
+    return out
+
+
+def datacenter_suite(seeds: Iterable[int] = (0, 1, 2)) -> list[tuple[str, ClusterState]]:
+    """Drifted datacenter snapshots — the "real data" stand-in (E5)."""
+    out: list[tuple[str, ClusterState]] = []
+    for seed in seeds:
+        for m, drift in ((80, 0.3), (120, 0.4)):
+            cfg = DatacenterConfig(
+                num_machines=m,
+                shards_per_machine=12,
+                target_utilization=0.8,
+                drift=drift,
+                seed=seed,
+            )
+            out.append((f"dc-m{m}-d{drift:.1f}-s{seed}", generate_datacenter(cfg)))
+    return out
+
+
+def scaling_suite(
+    sizes: Iterable[tuple[int, int]] = ((20, 10), (50, 10), (100, 10), (200, 10), (400, 10)),
+    seed: int = 0,
+) -> list[tuple[str, ClusterState]]:
+    """Increasing-size instances for the runtime scaling study (E6)."""
+    out: list[tuple[str, ClusterState]] = []
+    for m, spm in sizes:
+        cfg = SyntheticConfig(
+            num_machines=m,
+            shards_per_machine=spm,
+            target_utilization=0.8,
+            demand_dist="zipf",
+            placement_skew=0.5,
+            seed=seed,
+        )
+        out.append((f"scale-m{m}-n{cfg.num_shards}", generate(cfg)))
+    return out

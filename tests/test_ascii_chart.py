@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.ascii_chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart(
+            {"a": [(0, 0.0), (1, 1.0), (2, 4.0)]},
+            width=20,
+            height=8,
+            title="T",
+            x_label="iter",
+            y_label="obj",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "o" in text  # marker drawn
+        assert "legend: o a" in text
+        assert "iter" in text and "obj" in text
+
+    def test_two_series_two_markers(self):
+        text = line_chart({"s1": [(0, 1.0)], "s2": [(1, 2.0)]})
+        assert "o s1" in text and "x s2" in text
+
+    def test_extremes_on_grid(self):
+        text = line_chart({"a": [(0, 0.0), (10, 10.0)]}, width=10, height=5)
+        # min value labels appear on axes
+        assert "10" in text and "0" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = line_chart({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "flat" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({}, title="E")
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 1.0)]}, width=0)
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart(["B=0", "B=1"], [0.9, 0.88], title="peaks", unit="")
+        lines = text.splitlines()
+        assert lines[0] == "peaks"
+        assert "B=0" in text and "█" in text
+        assert "0.9" in text
+
+    def test_proportional_lengths(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        bars = [line.count("█") for line in text.splitlines()]
+        assert bars[1] == 2 * bars[0]
+
+    def test_zero_value_gets_no_bar(self):
+        text = bar_chart(["z"], [0.0])
+        assert "█" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [], title="E")

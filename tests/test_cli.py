@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import load_json
+
+
+@pytest.fixture()
+def snapshot(tmp_path):
+    path = tmp_path / "snap.json"
+    code = main(
+        [
+            "generate",
+            "--kind", "synthetic",
+            "--machines", "8",
+            "--shards-per-machine", "4",
+            "--utilization", "0.7",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_synthetic_snapshot_written(self, snapshot):
+        state = load_json(snapshot)
+        assert state.num_machines == 8
+        assert state.num_shards == 32
+
+    def test_datacenter_kind(self, tmp_path, capsys):
+        out = tmp_path / "dc.json"
+        assert main(
+            ["generate", "--kind", "datacenter", "--machines", "20", "--out", str(out)]
+        ) == 0
+        assert "datacenter snapshot" in capsys.readouterr().out
+        assert load_json(out).num_machines == 20
+
+    def test_replicated_kind(self, tmp_path):
+        out = tmp_path / "rep.json"
+        assert main(
+            [
+                "generate", "--kind", "replicated", "--machines", "8",
+                "--replication", "2", "--out", str(out),
+            ]
+        ) == 0
+        state = load_json(out)
+        assert len(state.replica_groups) > 0
+        assert not state.has_replica_conflicts()
+
+    def test_snapshot_is_valid_json(self, snapshot):
+        data = json.loads(snapshot.read_text())
+        assert data["version"] == 1
+
+
+class TestInfo:
+    def test_prints_metrics(self, snapshot, capsys):
+        assert main(["info", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        for needle in ("machines", "peak utilization", "tightness", "vacant"):
+            assert needle in out
+
+
+class TestRebalance:
+    def test_sra_rebalance(self, snapshot, capsys):
+        code = main(
+            [
+                "rebalance", str(snapshot),
+                "--algorithm", "sra",
+                "--iterations", "150",
+                "--exchange", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak before" in out and "peak after" in out
+
+    def test_baseline_algorithms(self, snapshot, capsys):
+        for algo in ("greedy", "local-search", "noop"):
+            assert main(["rebalance", str(snapshot), "--algorithm", algo]) == 0
+
+    def test_output_snapshot_written(self, snapshot, tmp_path):
+        out = tmp_path / "after.json"
+        code = main(
+            [
+                "rebalance", str(snapshot),
+                "--algorithm", "greedy",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        after = load_json(out)
+        before = load_json(snapshot)
+        assert after.num_shards == before.num_shards
+        assert after.peak_utilization() <= before.peak_utilization() + 1e-9
+
+    def test_exchange_grows_saved_fleet(self, snapshot, tmp_path):
+        out = tmp_path / "after.json"
+        main(
+            [
+                "rebalance", str(snapshot),
+                "--algorithm", "sra", "--iterations", "100",
+                "--exchange", "2", "--out", str(out),
+            ]
+        )
+        assert load_json(out).num_machines == 10  # 8 + 2 borrowed
+
+
+class TestExperiment:
+    def test_known_experiment_runs(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment e1" in out
+        assert "instance" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])

@@ -1,0 +1,99 @@
+"""Unit tests for Machine, MachineClass and Shard descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DEFAULT_SCHEMA, Machine, MachineClass, ResourceSchema, Shard
+
+
+class TestMachine:
+    def test_basic_construction(self):
+        mach = Machine(id=0, capacity=np.array([4.0, 8.0, 100.0]))
+        assert mach.capacity_of("ram") == 8.0
+        assert not mach.exchange
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="machine id"):
+            Machine(id=-1, capacity=np.array([1.0, 1.0, 1.0]))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            Machine(id=0, capacity=np.array([1.0, 0.0, 1.0]))
+
+    def test_wrong_dims_rejected(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            Machine(id=0, capacity=np.array([1.0, 1.0]))
+
+    def test_with_id_preserves_everything_else(self):
+        mach = Machine(id=0, capacity=np.array([1.0, 2.0, 3.0]), cls="big", exchange=True)
+        moved = mach.with_id(7)
+        assert moved.id == 7
+        assert moved.cls == "big"
+        assert moved.exchange
+        np.testing.assert_allclose(moved.capacity, mach.capacity)
+
+    def test_homogeneous_builder(self):
+        fleet = Machine.homogeneous(3, {"cpu": 2.0, "ram": 4.0, "disk": 10.0})
+        assert [m.id for m in fleet] == [0, 1, 2]
+        assert all(m.capacity_of("disk") == 10.0 for m in fleet)
+
+    def test_homogeneous_start_id(self):
+        fleet = Machine.homogeneous(2, 1.0, start_id=5)
+        assert [m.id for m in fleet] == [5, 6]
+
+    def test_homogeneous_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            Machine.homogeneous(0, 1.0)
+
+
+class TestMachineClass:
+    def test_stamp(self):
+        cls = MachineClass("std", np.array([2.0, 4.0, 50.0]))
+        mach = cls.stamp(3)
+        assert mach.id == 3
+        assert mach.cls == "std"
+        np.testing.assert_allclose(mach.capacity, [2.0, 4.0, 50.0])
+
+    def test_stamp_exchange_flag(self):
+        cls = MachineClass("std", np.array([2.0, 4.0, 50.0]))
+        assert cls.stamp(0, exchange=True).exchange
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            MachineClass("bad", np.array([0.0, 1.0, 1.0]))
+
+
+class TestShard:
+    def test_basic_construction(self):
+        sh = Shard(id=0, demand=np.array([1.0, 2.0, 30.0]))
+        assert sh.demand_of("cpu") == 1.0
+        # default migration weight = disk demand
+        assert sh.size_bytes == 30.0
+
+    def test_explicit_size_bytes(self):
+        sh = Shard(id=0, demand=np.array([1.0, 2.0, 30.0]), size_bytes=99.0)
+        assert sh.size_bytes == 99.0
+
+    def test_size_default_without_disk_dim(self):
+        schema = ResourceSchema(("cpu", "ram"))
+        sh = Shard(id=0, demand=np.array([1.0, 2.0]), schema=schema)
+        assert sh.size_bytes == 3.0  # L1 norm fallback
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            Shard(id=0, demand=np.zeros(3))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Shard(id=0, demand=np.array([-1.0, 1.0, 1.0]))
+
+    def test_replica_default(self):
+        assert Shard(id=0, demand=np.ones(3)).replica_of == -1
+
+    def test_uniform_builder(self):
+        shards = Shard.uniform(4, {"cpu": 1.0, "ram": 1.0, "disk": 1.0})
+        assert [s.id for s in shards] == [0, 1, 2, 3]
+        assert all(s.demand_of("ram") == 1.0 for s in shards)
+
+    def test_shards_use_default_schema(self):
+        assert Shard(id=0, demand=np.ones(3)).schema == DEFAULT_SCHEMA

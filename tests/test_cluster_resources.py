@@ -1,0 +1,95 @@
+"""Unit tests for the resource schema and vector algebra."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DEFAULT_SCHEMA, ResourceSchema, dominates, safe_ratio
+
+
+class TestResourceSchema:
+    def test_dims_and_iteration(self):
+        schema = ResourceSchema(("cpu", "ram"))
+        assert schema.dims == 2
+        assert list(schema) == ["cpu", "ram"]
+        assert len(schema) == 2
+
+    def test_default_schema_has_three_dims(self):
+        assert DEFAULT_SCHEMA.names == ("cpu", "ram", "disk")
+
+    def test_index_lookup(self):
+        assert DEFAULT_SCHEMA.index("ram") == 1
+
+    def test_index_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown resource"):
+            DEFAULT_SCHEMA.index("gpu")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ResourceSchema(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ResourceSchema(("cpu", "cpu"))
+
+    def test_vector_from_mapping_fills_missing_with_zero(self):
+        vec = DEFAULT_SCHEMA.vector({"disk": 3.0})
+        np.testing.assert_allclose(vec, [0.0, 0.0, 3.0])
+
+    def test_vector_from_mapping_orders_by_schema(self):
+        vec = DEFAULT_SCHEMA.vector({"ram": 2.0, "cpu": 1.0, "disk": 3.0})
+        np.testing.assert_allclose(vec, [1.0, 2.0, 3.0])
+
+    def test_vector_from_scalar_broadcasts(self):
+        np.testing.assert_allclose(DEFAULT_SCHEMA.vector(2.5), [2.5, 2.5, 2.5])
+
+    def test_vector_from_sequence(self):
+        np.testing.assert_allclose(DEFAULT_SCHEMA.vector([1, 2, 3]), [1.0, 2.0, 3.0])
+
+    def test_vector_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown resources"):
+            DEFAULT_SCHEMA.vector({"gpu": 1.0})
+
+    def test_vector_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            DEFAULT_SCHEMA.vector([1.0, 2.0])
+
+    def test_vector_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DEFAULT_SCHEMA.vector([-1.0, 0.0, 0.0])
+
+    def test_as_mapping_roundtrip(self):
+        vec = DEFAULT_SCHEMA.vector({"cpu": 1.0, "ram": 2.0, "disk": 3.0})
+        assert DEFAULT_SCHEMA.as_mapping(vec) == {"cpu": 1.0, "ram": 2.0, "disk": 3.0}
+
+    def test_schemas_are_hashable_and_comparable(self):
+        assert ResourceSchema(("cpu",)) == ResourceSchema(("cpu",))
+        assert hash(ResourceSchema(("cpu",))) == hash(ResourceSchema(("cpu",)))
+
+
+class TestDominates:
+    def test_equal_vectors_dominate(self):
+        assert dominates(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_strictly_greater_dominates(self):
+        assert dominates(np.array([2.0, 3.0]), np.array([1.0, 2.0]))
+
+    def test_one_smaller_component_fails(self):
+        assert not dominates(np.array([2.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_atol_tolerance(self):
+        assert dominates(np.array([1.0]), np.array([1.0 + 1e-12]))
+
+
+class TestSafeRatio:
+    def test_plain_division(self):
+        np.testing.assert_allclose(safe_ratio(np.array([2.0]), np.array([4.0])), [0.5])
+
+    def test_zero_over_zero_is_zero(self):
+        np.testing.assert_allclose(safe_ratio(np.array([0.0]), np.array([0.0])), [0.0])
+
+    def test_positive_over_zero_is_inf(self):
+        assert safe_ratio(np.array([1.0]), np.array([0.0]))[0] == np.inf
+
+    def test_broadcasting(self):
+        out = safe_ratio(np.ones((2, 3)), np.array([1.0, 2.0, 4.0]))
+        np.testing.assert_allclose(out, [[1.0, 0.5, 0.25]] * 2)

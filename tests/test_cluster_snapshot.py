@@ -1,0 +1,56 @@
+"""Round-trip tests for snapshot serialization."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, Machine, Shard, from_dict, load_json, save_json, to_dict
+
+
+def make_state():
+    machines = [
+        Machine(id=0, capacity=np.array([4.0, 8.0, 100.0]), cls="std"),
+        Machine(id=1, capacity=np.array([8.0, 16.0, 200.0]), cls="big", exchange=True),
+    ]
+    shards = [
+        Shard(id=0, demand=np.array([1.0, 2.0, 30.0]), size_bytes=5.0),
+        Shard(id=1, demand=np.array([0.5, 1.0, 10.0]), replica_of=0),
+        Shard(id=2, demand=np.array([2.0, 2.0, 20.0])),
+    ]
+    return ClusterState(machines, shards, [0, 1, 0])
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        state = make_state()
+        clone = from_dict(to_dict(state))
+        assert clone.num_machines == state.num_machines
+        assert clone.num_shards == state.num_shards
+        np.testing.assert_allclose(clone.capacity, state.capacity)
+        np.testing.assert_allclose(clone.demand, state.demand)
+        np.testing.assert_allclose(clone.sizes, state.sizes)
+        np.testing.assert_array_equal(clone.assignment, state.assignment)
+        np.testing.assert_allclose(clone.loads, state.loads)
+        assert clone.machines[1].exchange
+        assert clone.machines[1].cls == "big"
+        assert clone.shards[1].replica_of == 0
+
+    def test_json_file_roundtrip(self, tmp_path):
+        state = make_state()
+        path = tmp_path / "snap.json"
+        save_json(state, path)
+        clone = load_json(path)
+        np.testing.assert_array_equal(clone.assignment, state.assignment)
+        np.testing.assert_allclose(clone.loads, state.loads)
+
+    def test_unknown_version_rejected(self):
+        data = to_dict(make_state())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            from_dict(data)
+
+    def test_partial_assignment_roundtrip(self):
+        machines = Machine.homogeneous(2, 10.0)
+        shards = Shard.uniform(2, 1.0)
+        state = ClusterState(machines, shards, [0, -1])
+        clone = from_dict(to_dict(state))
+        assert clone.machine_of(1) == -1

@@ -1,0 +1,224 @@
+"""Unit and property tests for ClusterState.
+
+The property tests pin the invariants every algorithm relies on:
+load conservation under arbitrary move sequences, and agreement between
+incremental load updates and a from-scratch recomputation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import UNASSIGNED, ClusterState, Machine, Shard
+
+
+def small_cluster(m=3, n=6, cap=10.0, dem=1.0):
+    machines = Machine.homogeneous(m, cap)
+    shards = Shard.uniform(n, dem)
+    assignment = [j % m for j in range(n)]
+    return ClusterState(machines, shards, assignment)
+
+
+class TestConstruction:
+    def test_round_robin_loads(self):
+        state = small_cluster()
+        np.testing.assert_allclose(state.loads, 2.0)
+        assert state.num_machines == 3
+        assert state.num_shards == 6
+
+    def test_default_assignment_is_unassigned(self):
+        state = ClusterState(Machine.homogeneous(2, 5.0), Shard.uniform(3, 1.0))
+        assert list(state.assignment) == [UNASSIGNED] * 3
+        np.testing.assert_allclose(state.loads, 0.0)
+
+    def test_requires_machines_and_shards(self):
+        with pytest.raises(ValueError, match="at least one machine"):
+            ClusterState([], Shard.uniform(1, 1.0))
+        with pytest.raises(ValueError, match="at least one shard"):
+            ClusterState(Machine.homogeneous(1, 1.0), [])
+
+    def test_rejects_nondense_machine_ids(self):
+        machines = [Machine(id=1, capacity=np.ones(3))]
+        with pytest.raises(ValueError, match="dense"):
+            ClusterState(machines, Shard.uniform(1, 1.0))
+
+    def test_rejects_mixed_schemas(self):
+        from repro.cluster import ResourceSchema
+
+        machines = Machine.homogeneous(1, 1.0)
+        odd = Shard(id=0, demand=np.ones(2), schema=ResourceSchema(("cpu", "ram")))
+        with pytest.raises(ValueError, match="schema"):
+            ClusterState(machines, [odd])
+
+    def test_rejects_out_of_range_assignment(self):
+        with pytest.raises(ValueError, match="unknown machines"):
+            ClusterState(Machine.homogeneous(2, 5.0), Shard.uniform(2, 1.0), [0, 5])
+
+    def test_rejects_wrong_length_assignment(self):
+        with pytest.raises(ValueError, match="shape"):
+            ClusterState(Machine.homogeneous(2, 5.0), Shard.uniform(2, 1.0), [0])
+
+    def test_overloaded_input_is_accepted(self):
+        # Rebalancer inputs may violate capacity; construction must not reject.
+        state = ClusterState(
+            Machine.homogeneous(2, 1.0), Shard.uniform(4, 1.0), [0, 0, 0, 0]
+        )
+        assert not state.is_within_capacity()
+        assert list(state.overloaded_machines()) == [0]
+
+
+class TestMutation:
+    def test_move_updates_loads_incrementally(self):
+        state = small_cluster()
+        src = state.move(0, 2)
+        assert src == 0
+        assert state.machine_of(0) == 2
+        np.testing.assert_allclose(state.loads[:, 0], [1.0, 2.0, 3.0])
+
+    def test_unassign_then_assign(self):
+        state = small_cluster()
+        state.unassign(0)
+        assert state.machine_of(0) == UNASSIGNED
+        assert list(state.unassigned_shards()) == [0]
+        state.assign_shard(0, 1)
+        assert state.machine_of(0) == 1
+
+    def test_double_assign_rejected(self):
+        state = small_cluster()
+        with pytest.raises(ValueError, match="already on machine"):
+            state.assign_shard(0, 1)
+
+    def test_assign_unknown_machine_rejected(self):
+        state = small_cluster()
+        state.unassign(0)
+        with pytest.raises(ValueError, match="unknown machine"):
+            state.assign_shard(0, 99)
+
+    def test_unassign_unassigned_is_noop(self):
+        state = ClusterState(Machine.homogeneous(1, 5.0), Shard.uniform(1, 1.0))
+        assert state.unassign(0) == UNASSIGNED
+
+    def test_apply_assignment_recomputes(self):
+        state = small_cluster()
+        state.apply_assignment(np.zeros(6, dtype=np.int64))
+        np.testing.assert_allclose(state.loads[:, 0], [6.0, 0.0, 0.0])
+
+
+class TestQueries:
+    def test_utilization_and_peak(self):
+        state = small_cluster(cap=4.0)
+        np.testing.assert_allclose(state.utilization(), 0.5)
+        assert state.peak_utilization() == 0.5
+
+    def test_headroom(self):
+        state = small_cluster(cap=4.0)
+        np.testing.assert_allclose(state.headroom(), 2.0)
+
+    def test_machine_shards(self):
+        state = small_cluster()
+        assert list(state.machine_shards(0)) == [0, 3]
+
+    def test_shard_counts_and_vacancy(self):
+        state = ClusterState(
+            Machine.homogeneous(3, 10.0), Shard.uniform(2, 1.0), [0, 0]
+        )
+        assert list(state.shard_counts()) == [2, 0, 0]
+        assert list(state.vacant_machines()) == [1, 2]
+
+    def test_fits_accounts_for_current_placement(self):
+        state = ClusterState(Machine.homogeneous(2, 1.0), Shard.uniform(2, 1.0), [0, 1])
+        assert state.fits(0, 0)  # already there, machine exactly full
+        assert not state.fits(0, 1)  # target already full
+
+    def test_mean_utilization(self):
+        state = small_cluster(m=2, n=4, cap=4.0, dem=1.0)
+        np.testing.assert_allclose(state.mean_utilization(), 0.5)
+
+    def test_is_fully_assigned(self):
+        state = small_cluster()
+        assert state.is_fully_assigned()
+        state.unassign(0)
+        assert not state.is_fully_assigned()
+
+
+class TestCopyAndExtend:
+    def test_copy_is_independent(self):
+        state = small_cluster()
+        dup = state.copy()
+        dup.move(0, 2)
+        assert state.machine_of(0) == 0
+        assert dup.machine_of(0) == 2
+
+    def test_copy_shares_descriptions(self):
+        state = small_cluster()
+        dup = state.copy()
+        assert dup.machines is state.machines
+        assert dup.capacity is state.capacity
+
+    def test_with_extra_machines_appends_and_preserves(self):
+        state = small_cluster()
+        extra = Machine(id=0, capacity=np.full(3, 20.0), exchange=True)
+        grown = state.with_extra_machines([extra])
+        assert grown.num_machines == 4
+        assert grown.machines[3].id == 3
+        assert grown.machines[3].exchange
+        np.testing.assert_allclose(grown.loads[:3], state.loads)
+        assert list(grown.exchange_mask) == [False, False, False, True]
+
+
+# --------------------------------------------------------------------------
+# Property tests
+# --------------------------------------------------------------------------
+
+@st.composite
+def cluster_and_moves(draw):
+    m = draw(st.integers(min_value=1, max_value=6))
+    n = draw(st.integers(min_value=1, max_value=20))
+    dems = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    machines = Machine.homogeneous(m, 100.0)
+    shards = [Shard(id=j, demand=np.full(3, d)) for j, d in enumerate(dems)]
+    assignment = draw(
+        st.lists(st.integers(min_value=0, max_value=m - 1), min_size=n, max_size=n)
+    )
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=m - 1),
+            ),
+            max_size=30,
+        )
+    )
+    return machines, shards, assignment, moves
+
+
+@given(cluster_and_moves())
+@settings(max_examples=60, deadline=None)
+def test_property_loads_match_recompute_after_moves(data):
+    """Incremental load updates always agree with a from-scratch recompute."""
+    machines, shards, assignment, moves = data
+    state = ClusterState(machines, shards, assignment)
+    for shard_id, dst in moves:
+        state.move(shard_id, dst)
+    fresh = ClusterState(machines, shards, state.assignment)
+    np.testing.assert_allclose(state.loads, fresh.loads, atol=1e-9)
+
+
+@given(cluster_and_moves())
+@settings(max_examples=60, deadline=None)
+def test_property_total_load_is_conserved(data):
+    """Moves never create or destroy demand."""
+    machines, shards, assignment, moves = data
+    state = ClusterState(machines, shards, assignment)
+    before = state.loads.sum(axis=0).copy()
+    for shard_id, dst in moves:
+        state.move(shard_id, dst)
+    np.testing.assert_allclose(state.loads.sum(axis=0), before, atol=1e-9)
+    np.testing.assert_allclose(before, state.total_demand(), atol=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for conjunctive (AND) retrieval."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    BM25Scorer,
+    CorpusConfig,
+    Document,
+    InvertedIndex,
+    Query,
+    generate_corpus,
+    generate_queries,
+)
+from repro.engine.boolean import ConjunctiveScorer, intersect_postings
+
+
+def hand_corpus():
+    return [
+        Document.from_text(0, "apple banana cherry"),
+        Document.from_text(1, "apple banana"),
+        Document.from_text(2, "apple cherry cherry"),
+        Document.from_text(3, "banana banana"),
+        Document.from_text(4, "durian"),
+    ]
+
+
+class TestIntersect:
+    def test_two_terms(self):
+        ix = InvertedIndex.build(hand_corpus())
+        docs, work = intersect_postings(ix, ["apple", "banana"])
+        np.testing.assert_array_equal(docs, [0, 1])
+        assert work > 0
+
+    def test_three_terms(self):
+        ix = InvertedIndex.build(hand_corpus())
+        docs, _ = intersect_postings(ix, ["apple", "banana", "cherry"])
+        np.testing.assert_array_equal(docs, [0])
+
+    def test_oov_term_empties_result(self):
+        ix = InvertedIndex.build(hand_corpus())
+        docs, work = intersect_postings(ix, ["apple", "zzz"])
+        assert docs.size == 0 and work == 0
+
+    def test_single_term(self):
+        ix = InvertedIndex.build(hand_corpus())
+        docs, _ = intersect_postings(ix, ["cherry"])
+        np.testing.assert_array_equal(docs, [0, 2])
+
+    def test_duplicate_terms_collapse(self):
+        ix = InvertedIndex.build(hand_corpus())
+        a, _ = intersect_postings(ix, ["apple", "apple"])
+        b, _ = intersect_postings(ix, ["apple"])
+        np.testing.assert_array_equal(a, b)
+
+
+class TestConjunctiveScorer:
+    def test_results_contain_all_terms(self):
+        ix = InvertedIndex.build(hand_corpus())
+        results, _ = ConjunctiveScorer(ix).search(Query(("apple", "cherry")), k=5)
+        assert {r.doc_id for r in results} == {0, 2}
+
+    def test_scores_match_bm25_on_intersection(self):
+        ix = InvertedIndex.build(hand_corpus())
+        conj = ConjunctiveScorer(ix)
+        bm25 = BM25Scorer(ix)
+        and_results, _ = conj.search(Query(("apple", "banana")), k=5)
+        or_results, _ = bm25.search(Query(("apple", "banana")), k=10)
+        or_scores = {r.doc_id: r.score for r in or_results}
+        for r in and_results:
+            assert r.score == pytest.approx(or_scores[r.doc_id], rel=1e-9)
+
+    def test_empty_intersection(self):
+        ix = InvertedIndex.build(hand_corpus())
+        results, _ = ConjunctiveScorer(ix).search(Query(("durian", "apple")), k=5)
+        assert results == []
+
+    def test_k_limits(self):
+        ix = InvertedIndex.build(hand_corpus())
+        results, _ = ConjunctiveScorer(ix).search(Query(("banana",)), k=1)
+        assert len(results) == 1
+
+    def test_conjunctive_work_bounded_by_disjunctive(self):
+        cfg = CorpusConfig(num_docs=300, vocab_size=500, seed=4)
+        docs = generate_corpus(cfg)
+        ix = InvertedIndex.build(docs)
+        conj, bm25 = ConjunctiveScorer(ix), BM25Scorer(ix)
+        total_and = total_or = 0
+        for q in generate_queries(cfg, 20, terms_per_query=(2, 4), seed=5):
+            _, wa = conj.search(q, k=10)
+            _, wo = bm25.search(q, k=10)
+            total_and += wa
+            total_or += wo
+        assert total_and < total_or  # intersection is the cheap mode
+
+    def test_invalid_k(self):
+        ix = InvertedIndex.build(hand_corpus())
+        with pytest.raises(ValueError, match="k"):
+            ConjunctiveScorer(ix).search(Query(("apple",)), k=0)
+
+
+@given(seed=st.integers(min_value=0, max_value=60))
+@settings(max_examples=15, deadline=None)
+def test_property_conjunction_is_subset_of_every_posting_list(seed):
+    cfg = CorpusConfig(num_docs=80, vocab_size=150, seed=seed)
+    docs = generate_corpus(cfg)
+    ix = InvertedIndex.build(docs)
+    for q in generate_queries(cfg, 4, terms_per_query=(2, 3), seed=seed + 1):
+        result, _ = intersect_postings(ix, list(q.terms))
+        for term in q.terms:
+            plist = ix.postings(term)
+            members = set() if plist is None else set(int(d) for d in plist.doc_ids)
+            assert set(int(d) for d in result) <= members

@@ -1,0 +1,130 @@
+"""Tests for MaxScore dynamic pruning.
+
+The non-negotiable invariant: MaxScore is *exact* — identical top-k
+scores to the exhaustive scorer on every query — while touching fewer
+postings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    BM25Scorer,
+    CorpusConfig,
+    Document,
+    InvertedIndex,
+    MaxScoreScorer,
+    Query,
+    generate_corpus,
+    generate_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_index():
+    cfg = CorpusConfig(num_docs=400, vocab_size=900, seed=9)
+    docs = generate_corpus(cfg)
+    index = InvertedIndex.build(docs)
+    return cfg, index
+
+
+class TestEquivalence:
+    def test_same_topk_scores_on_query_stream(self, corpus_index):
+        cfg, index = corpus_index
+        exhaustive = BM25Scorer(index)
+        pruned = MaxScoreScorer(index)
+        for q in generate_queries(cfg, 30, terms_per_query=(1, 5), seed=5):
+            expect, _ = exhaustive.search(q, k=10)
+            got, _ = pruned.search(q, k=10)
+            np.testing.assert_allclose(
+                sorted(r.score for r in got),
+                sorted(r.score for r in expect),
+                rtol=1e-9,
+                err_msg=str(q.terms),
+            )
+
+    def test_single_term_query(self, corpus_index):
+        _, index = corpus_index
+        expect, _ = BM25Scorer(index).search(Query(("t3",)), k=5)
+        got, _ = MaxScoreScorer(index).search(Query(("t3",)), k=5)
+        assert [r.doc_id for r in got] == [r.doc_id for r in expect]
+
+    def test_oov_query(self, corpus_index):
+        _, index = corpus_index
+        results, work = MaxScoreScorer(index).search(Query(("zzz",)), k=5)
+        assert results == [] and work == 0
+
+    def test_k_larger_than_matches(self):
+        docs = [Document.from_text(0, "a b"), Document.from_text(1, "a c")]
+        index = InvertedIndex.build(docs)
+        results, _ = MaxScoreScorer(index).search(Query(("b",)), k=10)
+        assert [r.doc_id for r in results] == [0]
+
+    def test_duplicate_query_terms_deduplicated(self, corpus_index):
+        _, index = corpus_index
+        a, _ = MaxScoreScorer(index).search(Query(("t3", "t3")), k=5)
+        b, _ = MaxScoreScorer(index).search(Query(("t3",)), k=5)
+        assert [(r.doc_id, r.score) for r in a] == [(r.doc_id, r.score) for r in b]
+
+    def test_invalid_k(self, corpus_index):
+        _, index = corpus_index
+        with pytest.raises(ValueError, match="k"):
+            MaxScoreScorer(index).search(Query(("t3",)), k=0)
+
+
+class TestPruningEffect:
+    def test_work_overhead_is_bounded(self, corpus_index):
+        """Per query, pruning may pay a small lookup overhead on short
+        lists (binary probes into non-essential lists), but never more
+        than a constant factor of the exhaustive cost."""
+        cfg, index = corpus_index
+        exhaustive = BM25Scorer(index)
+        pruned = MaxScoreScorer(index)
+        for q in generate_queries(cfg, 20, terms_per_query=(2, 5), seed=6):
+            _, full_work = exhaustive.search(q, k=10)
+            _, pruned_work = pruned.search(q, k=10)
+            assert pruned_work <= 2 * full_work + 10, q.terms
+
+    def test_saves_work_on_common_term_queries(self, corpus_index):
+        """Queries mixing a rare and a very common term are the classic
+        MaxScore win: the common term's list is mostly non-essential."""
+        cfg, index = corpus_index
+        exhaustive = BM25Scorer(index)
+        pruned = MaxScoreScorer(index)
+        total_full = total_pruned = 0
+        for q in generate_queries(cfg, 25, terms_per_query=(2, 4), seed=7):
+            _, w1 = exhaustive.search(q, k=5)
+            _, w2 = pruned.search(q, k=5)
+            total_full += w1
+            total_pruned += w2
+        assert total_pruned < total_full
+
+    def test_term_upper_bound_is_valid(self, corpus_index):
+        """No document's single-term contribution exceeds the bound."""
+        _, index = corpus_index
+        exhaustive = BM25Scorer(index)
+        pruned = MaxScoreScorer(index)
+        for term in list(index.terms())[:50]:
+            results, _ = exhaustive.search(Query((term,)), k=1)
+            if results:
+                assert results[0].score <= pruned.term_upper_bound(term) + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=80))
+@settings(max_examples=15, deadline=None)
+def test_property_maxscore_equals_exhaustive(seed):
+    cfg = CorpusConfig(num_docs=120, vocab_size=300, seed=seed)
+    docs = generate_corpus(cfg)
+    index = InvertedIndex.build(docs)
+    exhaustive = BM25Scorer(index)
+    pruned = MaxScoreScorer(index)
+    for q in generate_queries(cfg, 5, terms_per_query=(1, 4), seed=seed + 1):
+        expect, _ = exhaustive.search(q, k=7)
+        got, _ = pruned.search(q, k=7)
+        np.testing.assert_allclose(
+            sorted(r.score for r in got),
+            sorted(r.score for r in expect),
+            rtol=1e-9,
+        )

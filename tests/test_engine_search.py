@@ -1,0 +1,169 @@
+"""Tests for BM25 scoring, sharding and the fan-out broker.
+
+The keystone invariant: sharded search (per-shard top-k merged by the
+broker) returns exactly the same results as searching one monolithic
+index — document partitioning is lossless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BM25Scorer,
+    CorpusConfig,
+    Document,
+    InvertedIndex,
+    Query,
+    SearchBroker,
+    ShardedIndex,
+    generate_corpus,
+    generate_queries,
+    partition_documents,
+)
+
+
+def hand_corpus():
+    return [
+        Document.from_text(0, "apple banana apple apple"),
+        Document.from_text(1, "banana cherry banana"),
+        Document.from_text(2, "cherry cherry cherry durian"),
+        Document.from_text(3, "apple durian"),
+        Document.from_text(4, "elderberry fig grape"),
+    ]
+
+
+class TestBM25:
+    def test_more_matches_rank_higher(self):
+        ix = InvertedIndex.build(hand_corpus())
+        scorer = BM25Scorer(ix)
+        results, work = scorer.search(Query(("apple",)), k=5)
+        assert results[0].doc_id == 0  # tf 3 beats tf 1
+        assert work == 2  # apple posting list has 2 entries
+
+    def test_multi_term_scores_accumulate(self):
+        ix = InvertedIndex.build(hand_corpus())
+        scorer = BM25Scorer(ix)
+        results, _ = scorer.search(Query(("apple", "durian")), k=5)
+        ids = [r.doc_id for r in results]
+        assert 3 in ids  # matches both terms
+        # doc 3 (both terms) should beat doc 2 (one rare term)
+        assert ids.index(3) < ids.index(2)
+
+    def test_oov_query_returns_empty(self):
+        ix = InvertedIndex.build(hand_corpus())
+        results, work = BM25Scorer(ix).search(Query(("zucchini",)), k=5)
+        assert results == [] and work == 0
+
+    def test_k_limits_results(self):
+        ix = InvertedIndex.build(hand_corpus())
+        results, _ = BM25Scorer(ix).search(Query(("cherry", "banana")), k=1)
+        assert len(results) == 1
+
+    def test_scores_sorted_descending(self):
+        ix = InvertedIndex.build(hand_corpus())
+        results, _ = BM25Scorer(ix).search(Query(("apple", "banana", "cherry")), k=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_idf_decreases_with_df(self):
+        ix = InvertedIndex.build(hand_corpus())
+        scorer = BM25Scorer(ix)
+        assert scorer.idf("elderberry") > scorer.idf("cherry")
+
+    def test_invalid_params(self):
+        ix = InvertedIndex.build(hand_corpus())
+        with pytest.raises(ValueError, match="k1"):
+            BM25Scorer(ix, k1=0.0)
+        with pytest.raises(ValueError, match="b must"):
+            BM25Scorer(ix, b=1.5)
+        with pytest.raises(ValueError, match="k"):
+            BM25Scorer(ix).search(Query(("apple",)), k=0)
+
+
+class TestPartition:
+    def test_hash_partition_covers_all_docs(self):
+        docs = generate_corpus(CorpusConfig(num_docs=100, seed=0))
+        groups = partition_documents(docs, 4)
+        assert sum(len(g) for g in groups) == 100
+        ids = sorted(d.doc_id for g in groups for d in g)
+        assert ids == list(range(100))
+
+    def test_round_robin_is_balanced(self):
+        docs = generate_corpus(CorpusConfig(num_docs=100, seed=0))
+        groups = partition_documents(docs, 4, strategy="round-robin")
+        assert all(len(g) == 25 for g in groups)
+
+    def test_hash_is_deterministic(self):
+        docs = generate_corpus(CorpusConfig(num_docs=50, seed=0))
+        a = partition_documents(docs, 4)
+        b = partition_documents(docs, 4)
+        assert [[d.doc_id for d in g] for g in a] == [[d.doc_id for d in g] for g in b]
+
+    def test_too_many_shards_rejected(self):
+        docs = generate_corpus(CorpusConfig(num_docs=3, seed=0))
+        with pytest.raises(ValueError, match="no documents"):
+            partition_documents(docs, 10)
+
+    def test_unknown_strategy(self):
+        docs = generate_corpus(CorpusConfig(num_docs=10, seed=0))
+        with pytest.raises(ValueError, match="strategy"):
+            partition_documents(docs, 2, strategy="alphabetical")
+
+
+class TestShardedEquivalence:
+    def test_sharded_topk_equals_global_topk(self):
+        cfg = CorpusConfig(num_docs=300, vocab_size=800, seed=7)
+        docs = generate_corpus(cfg)
+        mono = BM25Scorer(InvertedIndex.build(docs))
+        broker = SearchBroker(ShardedIndex.build(docs, 5))
+        for q in generate_queries(cfg, 20, seed=11):
+            expect, _ = mono.search(q, k=10)
+            got = broker.search(q, k=10).results
+            assert [r.doc_id for r in got] == [r.doc_id for r in expect]
+            np.testing.assert_allclose(
+                [r.score for r in got], [r.score for r in expect], rtol=1e-9
+            )
+
+    def test_broker_work_accounting(self):
+        docs = generate_corpus(CorpusConfig(num_docs=100, seed=1))
+        sharded = ShardedIndex.build(docs, 4)
+        broker = SearchBroker(sharded)
+        resp = broker.search(Query(("t0",)), k=5)
+        assert len(resp.shard_work) == 4
+        assert resp.total_work == sum(resp.shard_work)
+        # t0 is the most common term: every shard should do some work.
+        assert all(w > 0 for w in resp.shard_work)
+
+
+class TestDemandModel:
+    def test_to_cluster_shards(self):
+        cfg = CorpusConfig(num_docs=200, vocab_size=500, seed=5)
+        docs = generate_corpus(cfg)
+        sharded = ShardedIndex.build(docs, 4)
+        queries = generate_queries(cfg, 10)
+        shards = sharded.to_cluster_shards(queries)
+        assert len(shards) == 4
+        assert [s.id for s in shards] == [0, 1, 2, 3]
+        for s in shards:
+            assert s.demand_of("cpu") > 0
+            assert s.demand_of("disk") > 0
+            assert s.size_bytes == s.demand_of("disk")
+            assert s.demand_of("ram") == pytest.approx(0.5 * s.demand_of("disk"))
+
+    def test_hot_terms_make_shards_costly(self):
+        # All queries hit one term -> shards holding more of that term's
+        # postings get higher cpu demand.
+        cfg = CorpusConfig(num_docs=200, vocab_size=500, seed=5)
+        docs = generate_corpus(cfg)
+        sharded = ShardedIndex.build(docs, 4)
+        q = [Query(("t0",))]
+        shards = sharded.to_cluster_shards(q)
+        dfs = [ix.document_frequency("t0") for ix in sharded.indexes]
+        cpus = [s.demand_of("cpu") for s in shards]
+        assert np.argmax(dfs) == np.argmax(cpus)
+
+    def test_empty_query_sample_rejected(self):
+        docs = generate_corpus(CorpusConfig(num_docs=50, seed=0))
+        sharded = ShardedIndex.build(docs, 2)
+        with pytest.raises(ValueError, match="non-empty"):
+            sharded.measure([])

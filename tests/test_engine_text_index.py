@@ -1,0 +1,153 @@
+"""Tests for tokenization, corpus generation and the inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CorpusConfig,
+    Document,
+    InvertedIndex,
+    Query,
+    generate_corpus,
+    generate_queries,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("!!! --- ???") == []
+
+
+class TestDocument:
+    def test_from_text(self):
+        doc = Document.from_text(3, "The quick brown fox")
+        assert doc.doc_id == 3
+        assert doc.tokens == ("the", "quick", "brown", "fox")
+        assert len(doc) == 4
+
+    def test_empty_doc_rejected(self):
+        with pytest.raises(ValueError, match="at least one token"):
+            Document(0, ())
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="doc_id"):
+            Document(-1, ("a",))
+
+
+class TestQuery:
+    def test_from_text(self):
+        assert Query.from_text("Foo BAR").terms == ("foo", "bar")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Query(())
+        with pytest.raises(ValueError, match="no tokens"):
+            Query.from_text("!!!")
+
+
+class TestCorpusGeneration:
+    def test_shapes_and_determinism(self):
+        cfg = CorpusConfig(num_docs=50, vocab_size=200, seed=3)
+        a = generate_corpus(cfg)
+        b = generate_corpus(cfg)
+        assert len(a) == 50
+        assert [d.tokens for d in a] == [d.tokens for d in b]
+
+    def test_zipf_head_terms_dominate(self):
+        cfg = CorpusConfig(num_docs=200, vocab_size=500, seed=1)
+        docs = generate_corpus(cfg)
+        counts: dict[str, int] = {}
+        for d in docs:
+            for t in d.tokens:
+                counts[t] = counts.get(t, 0) + 1
+        total = sum(counts.values())
+        head = sum(counts.get(f"t{k}", 0) for k in range(10))
+        assert head / total > 0.2  # top-10 of 500 terms carry >20% of mass
+
+    def test_doc_lengths_positive(self):
+        docs = generate_corpus(CorpusConfig(num_docs=30, seed=2))
+        assert all(len(d) >= 1 for d in docs)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_docs=0)
+
+
+class TestQueryGeneration:
+    def test_count_and_term_bounds(self):
+        cfg = CorpusConfig(num_docs=10, vocab_size=100, seed=0)
+        qs = generate_queries(cfg, 25, terms_per_query=(1, 3))
+        assert len(qs) == 25
+        assert all(1 <= len(q.terms) <= 3 for q in qs)
+
+    def test_deterministic(self):
+        cfg = CorpusConfig(num_docs=10, vocab_size=100, seed=0)
+        assert generate_queries(cfg, 5) == generate_queries(cfg, 5)
+
+    def test_invalid_term_range(self):
+        cfg = CorpusConfig(seed=0)
+        with pytest.raises(ValueError, match="terms_per_query"):
+            generate_queries(cfg, 5, terms_per_query=(3, 1))
+
+
+def hand_corpus():
+    return [
+        Document.from_text(0, "apple banana apple"),
+        Document.from_text(1, "banana cherry"),
+        Document.from_text(2, "cherry cherry cherry"),
+    ]
+
+
+class TestInvertedIndex:
+    def test_build_counts(self):
+        ix = InvertedIndex.build(hand_corpus())
+        assert ix.num_docs == 3
+        assert ix.num_terms == 3
+        assert ix.avg_doc_length == pytest.approx((3 + 2 + 3) / 3)
+
+    def test_postings_content(self):
+        ix = InvertedIndex.build(hand_corpus())
+        p = ix.postings("banana")
+        np.testing.assert_array_equal(p.doc_ids, [0, 1])
+        np.testing.assert_array_equal(p.term_freqs, [1, 1])
+        p = ix.postings("apple")
+        np.testing.assert_array_equal(p.doc_ids, [0])
+        np.testing.assert_array_equal(p.term_freqs, [2])
+
+    def test_oov_term(self):
+        ix = InvertedIndex.build(hand_corpus())
+        assert ix.postings("durian") is None
+        assert ix.document_frequency("durian") == 0
+
+    def test_doc_length_lookup(self):
+        ix = InvertedIndex.build(hand_corpus())
+        assert ix.doc_length(2) == 3
+        with pytest.raises(KeyError, match="unknown doc_id"):
+            ix.doc_length(99)
+
+    def test_duplicate_doc_id_rejected(self):
+        docs = [Document.from_text(0, "a"), Document.from_text(0, "b")]
+        with pytest.raises(ValueError, match="duplicate"):
+            InvertedIndex.build(docs)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="zero documents"):
+            InvertedIndex.build([])
+
+    def test_total_postings_and_size(self):
+        ix = InvertedIndex.build(hand_corpus())
+        # apple:1 doc, banana:2 docs, cherry:2 docs -> 5 entries
+        assert ix.total_postings() == 5
+        assert ix.size_bytes() > 16 * 5
+
+    def test_nondense_doc_ids_supported(self):
+        docs = [Document.from_text(10, "x y"), Document.from_text(99, "y z")]
+        ix = InvertedIndex.build(docs)
+        np.testing.assert_array_equal(ix.doc_ids(), [10, 99])

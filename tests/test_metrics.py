@@ -1,0 +1,86 @@
+"""Tests for imbalance and migration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, Machine, Shard
+from repro.metrics import (
+    coefficient_of_variation,
+    imbalance_ratio,
+    imbalance_report,
+    jain_index,
+    summarize_plan,
+)
+from repro.migration import StagingPlanner
+
+
+class TestScalarMetrics:
+    def test_cv_constant_is_zero(self):
+        assert coefficient_of_variation(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_cv_increases_with_spread(self):
+        a = coefficient_of_variation(np.array([1.0, 1.0, 1.0, 1.0]))
+        b = coefficient_of_variation(np.array([0.1, 0.1, 0.1, 3.7]))
+        assert b > a
+
+    def test_cv_zero_mean(self):
+        assert coefficient_of_variation(np.zeros(3)) == 0.0
+
+    def test_jain_perfectly_fair(self):
+        assert jain_index(np.array([1.0, 1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_jain_worst_case(self):
+        # All load on one of n machines -> 1/n.
+        assert jain_index(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_jain_zero_vector(self):
+        assert jain_index(np.zeros(4)) == 1.0
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio(np.array([1.0, 1.0])) == 1.0
+        assert imbalance_ratio(np.array([3.0, 1.0])) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("fn", [coefficient_of_variation, jain_index, imbalance_ratio])
+    def test_empty_rejected(self, fn):
+        with pytest.raises(ValueError, match="non-empty"):
+            fn(np.array([]))
+
+
+class TestImbalanceReport:
+    def test_report_on_known_state(self):
+        machines = Machine.homogeneous(4, 10.0)
+        shards = Shard.uniform(4, 2.0)
+        state = ClusterState(machines, shards, [0, 0, 1, 2])
+        report = imbalance_report(state)
+        assert report.peak_utilization == pytest.approx(0.4)
+        assert report.mean_peak_utilization == pytest.approx(0.2)
+        assert report.ratio == pytest.approx(2.0)
+        assert report.vacant_machines == 1
+        assert report.overloaded_machines == 0
+        assert set(report.row()) == {
+            "peak", "mean", "cv", "jain", "ratio", "overloaded", "vacant"
+        }
+
+    def test_balanced_cluster_is_fair(self):
+        machines = Machine.homogeneous(4, 10.0)
+        shards = Shard.uniform(4, 2.0)
+        state = ClusterState(machines, shards, [0, 1, 2, 3])
+        report = imbalance_report(state)
+        assert report.jain == pytest.approx(1.0)
+        assert report.cv == 0.0
+
+
+class TestMigrationSummary:
+    def test_summarize_plan(self):
+        machines = Machine.homogeneous(3, 10.0)
+        shards = [Shard(id=j, demand=np.ones(3), size_bytes=100.0) for j in range(3)]
+        state = ClusterState(machines, shards, [0, 0, 0])
+        plan = StagingPlanner().plan(state, np.array([0, 1, 2]))
+        summary = summarize_plan(plan, state.num_machines)
+        assert summary.num_moves == 2
+        assert summary.total_bytes == 200.0
+        assert summary.feasible and summary.direct_feasible
+        assert summary.makespan_seconds >= 0
+        assert set(summary.row()) == {
+            "moves", "hops", "waves", "bytes", "makespan_s", "direct", "feasible"
+        }

@@ -1,0 +1,99 @@
+"""Tests for migration background load and the three-phase window sim."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, Machine, Shard
+from repro.migration import BandwidthModel, StagingPlanner
+from repro.simulate import (
+    ServingConfig,
+    WorkProfile,
+    migration_background_load,
+    simulate_migration_window,
+)
+
+
+def cluster_and_plan():
+    machines = Machine.homogeneous(3, {"cpu": 4.0, "ram": 100.0, "disk": 100.0})
+    shards = [
+        Shard(id=j, demand=np.array([1.0, 10.0, 10.0]), size_bytes=1000.0)
+        for j in range(4)
+    ]
+    state = ClusterState(machines, shards, [0, 0, 0, 1])
+    target = np.array([0, 1, 2, 1])
+    plan = StagingPlanner().plan(state, target)
+    assert plan.feasible
+    return state, target, plan
+
+
+class TestBackgroundLoad:
+    def test_transferring_machines_are_derated(self):
+        state, _, plan = cluster_and_plan()
+        load = migration_background_load(
+            plan, state.num_machines, bandwidth=BandwidthModel(bandwidth=100.0)
+        )
+        # machine 0 sends two shards; machines 1 and 2 each receive one.
+        assert set(load) == {0, 1, 2}
+        assert all(0 < v <= 0.3 for v in load.values())
+        assert load[0] >= load[1]  # the sender is busiest
+
+    def test_no_moves_no_load(self):
+        state, _, _ = cluster_and_plan()
+        plan = StagingPlanner().plan(state, state.assignment)
+        assert migration_background_load(plan, state.num_machines) == {}
+
+    def test_overhead_scales(self):
+        state, _, plan = cluster_and_plan()
+        lo = migration_background_load(
+            plan, state.num_machines, transfer_overhead=0.1,
+            bandwidth=BandwidthModel(bandwidth=100.0),
+        )
+        hi = migration_background_load(
+            plan, state.num_machines, transfer_overhead=0.2,
+            bandwidth=BandwidthModel(bandwidth=100.0),
+        )
+        for m in lo:
+            assert hi[m] == pytest.approx(2 * lo[m])
+
+    def test_invalid_overhead(self):
+        state, _, plan = cluster_and_plan()
+        with pytest.raises(ValueError, match="transfer_overhead"):
+            migration_background_load(plan, state.num_machines, transfer_overhead=1.5)
+
+
+class TestMigrationWindow:
+    def test_three_phases_ordering(self):
+        state, target, plan = cluster_and_plan()
+        profile = WorkProfile(np.full((4, 4), 2000.0))
+        config = ServingConfig(
+            arrival_rate=30.0, duration=20.0, postings_per_cpu_second=1e4, seed=3
+        )
+        report = simulate_migration_window(
+            state, target, plan, profile, config,
+            bandwidth=BandwidthModel(bandwidth=100.0),
+            transfer_overhead=0.3,
+        )
+        # Migration hurts while it runs; the final placement wins overall.
+        assert report.during.latency.p99 >= report.before.latency.p99
+        assert report.after.latency.p99 <= report.before.latency.p99
+        assert report.makespan_seconds > 0
+
+    def test_rows_shape(self):
+        state, target, plan = cluster_and_plan()
+        profile = WorkProfile(np.full((2, 4), 1000.0))
+        config = ServingConfig(arrival_rate=5.0, duration=10.0, seed=1)
+        report = simulate_migration_window(state, target, plan, profile, config)
+        rows = report.rows()
+        assert [r["phase"] for r in rows] == ["before", "during", "after"]
+        assert all("p99_ms" in r for r in rows)
+
+    def test_same_arrivals_across_phases(self):
+        state, target, plan = cluster_and_plan()
+        profile = WorkProfile(np.full((2, 4), 1000.0))
+        config = ServingConfig(arrival_rate=20.0, duration=10.0, seed=5)
+        report = simulate_migration_window(state, target, plan, profile, config)
+        assert (
+            report.before.latency.count
+            == report.during.latency.count
+            == report.after.latency.count
+        )

@@ -1,0 +1,81 @@
+"""Whole-pipeline property tests.
+
+These pin the end-to-end contract of the library on randomized inputs:
+whatever the instance, a feasible facade episode yields (1) a
+capacity-respecting final state, (2) an executable transient-safe
+schedule that lands exactly on the reported assignment, (3) a settled
+exchange contract, and (4) internally consistent metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.cluster import ExchangeLedger
+from repro.core import ResourceExchangeRebalancer
+from repro.workloads import SyntheticConfig, generate, make_exchange_machines
+
+
+def replay(state, schedule):
+    """Execute a wave schedule, asserting transient safety; final state."""
+    sim = state.copy()
+    for wave in schedule.waves:
+        inflight = np.zeros_like(sim.loads)
+        for mv in wave:
+            assert sim.machine_of(mv.shard_id) == mv.src
+            inflight[mv.dst] += sim.demand[mv.shard_id]
+        assert np.all(sim.loads + inflight <= sim.capacity + 1e-9)
+        for mv in wave:
+            sim.move(mv.shard_id, mv.dst)
+    return sim
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    util=st.sampled_from([0.6, 0.75, 0.85]),
+    budget=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_property_full_episode_contract(seed, util, budget):
+    state = generate(
+        SyntheticConfig(
+            num_machines=8,
+            shards_per_machine=5,
+            target_utilization=util,
+            placement_skew=0.5,
+            max_shard_fraction=0.35,
+            seed=seed,
+        )
+    )
+    rebalancer = ResourceExchangeRebalancer(
+        SRA(SRAConfig(alns=AlnsConfig(iterations=120, seed=seed))),
+        exchange_machines=budget,
+    )
+    report = rebalancer.run(state)
+    if not report.feasible:
+        return  # nothing to verify; infeasibility is a legitimate outcome
+
+    grown, ledger = ExchangeLedger.borrow(state, make_exchange_machines(state, budget))
+    final = grown.copy()
+    final.apply_assignment(report.result.target_assignment)
+
+    # (1) capacity respected, all shards placed
+    assert final.is_fully_assigned()
+    assert final.is_within_capacity()
+
+    # (2) plan executes to exactly the reported assignment
+    landed = replay(grown, report.result.plan.schedule)
+    np.testing.assert_array_equal(landed.assignment, report.result.target_assignment)
+
+    # (3) exchange contract: R machines vacant and selectable
+    assert ledger.is_satisfiable(final)
+    assert report.returned == budget
+
+    # (4) metric consistency
+    assert report.after.peak_utilization == pytest.approx(final.peak_utilization())
+    assert report.migration.num_moves == int(
+        np.sum(report.result.target_assignment != grown.assignment)
+    )
+    assert report.after.peak_utilization <= report.before.peak_utilization + 1e-9

@@ -1,0 +1,60 @@
+"""Tests for the parallel seed-portfolio rebalancer."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AlnsConfig, PortfolioRebalancer, SRA, SRAConfig
+from repro.cluster import ExchangeLedger
+from repro.workloads import SyntheticConfig, generate, make_exchange_machines
+
+
+def state():
+    return generate(
+        SyntheticConfig(
+            num_machines=12,
+            shards_per_machine=6,
+            target_utilization=0.85,
+            placement_skew=0.5,
+            max_shard_fraction=0.35,
+            seed=3,
+        )
+    )
+
+
+def cfg(iterations=150):
+    return SRAConfig(alns=AlnsConfig(iterations=iterations, seed=10))
+
+
+class TestPortfolio:
+    def test_sequential_beats_or_ties_single_run(self):
+        st = state()
+        single = SRA(cfg()).rebalance(st)
+        best4 = PortfolioRebalancer(cfg(), runs=4, n_jobs=1).rebalance(st)
+        assert best4.feasible
+        assert best4.peak_after <= single.peak_after + 1e-9
+        assert best4.algorithm == "sra-portfolio"
+
+    def test_iterations_totalled(self):
+        st = state()
+        result = PortfolioRebalancer(cfg(100), runs=3, n_jobs=1).rebalance(st)
+        assert result.iterations == 300
+
+    def test_parallel_matches_sequential(self):
+        st = state()
+        seq = PortfolioRebalancer(cfg(), runs=2, n_jobs=1).rebalance(st)
+        par = PortfolioRebalancer(cfg(), runs=2, n_jobs=2).rebalance(st)
+        np.testing.assert_array_equal(seq.target_assignment, par.target_assignment)
+        assert seq.peak_after == par.peak_after
+
+    def test_with_exchange_ledger(self):
+        st = state()
+        grown, ledger = ExchangeLedger.borrow(st, make_exchange_machines(st, 1))
+        result = PortfolioRebalancer(cfg(), runs=2, n_jobs=1).rebalance(grown, ledger)
+        assert result.feasible
+        assert result.settlement is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="runs"):
+            PortfolioRebalancer(runs=0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            PortfolioRebalancer(n_jobs=0)

@@ -1,0 +1,156 @@
+"""Tests for machine-failure recovery."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AlnsConfig, SRAConfig
+from repro.cluster import ClusterState, ExchangeLedger, Machine, Shard
+from repro.recovery import RecoveryPlanner, fail_machine
+from repro.workloads import (
+    ReplicatedConfig,
+    SyntheticConfig,
+    generate,
+    generate_replicated,
+    make_exchange_machines,
+)
+
+
+class TestFailMachine:
+    def test_orphans_and_blocking(self):
+        machines = Machine.homogeneous(3, 10.0)
+        shards = Shard.uniform(6, 1.0)
+        state = ClusterState(machines, shards, [0, 0, 1, 1, 2, 2])
+        degraded, orphans = fail_machine(state, 1)
+        assert orphans == [2, 3]
+        assert set(degraded.unassigned_shards()) == {2, 3}
+        assert degraded.blocked_mask[1]
+        # Input untouched.
+        assert state.machine_of(2) == 1
+        assert not state.blocked_mask[1]
+
+    def test_failing_vacant_machine(self):
+        machines = Machine.homogeneous(2, 10.0)
+        shards = Shard.uniform(1, 1.0)
+        state = ClusterState(machines, shards, [0])
+        degraded, orphans = fail_machine(state, 1)
+        assert orphans == []
+        assert degraded.blocked_mask[1]
+
+    def test_unknown_machine_rejected(self):
+        machines = Machine.homogeneous(2, 10.0)
+        shards = Shard.uniform(1, 1.0)
+        state = ClusterState(machines, shards, [0])
+        with pytest.raises(ValueError, match="unknown machine"):
+            fail_machine(state, 5)
+
+
+class TestRecoveryPlanner:
+    def test_recovers_simple_failure(self):
+        state = generate(
+            SyntheticConfig(
+                num_machines=10, shards_per_machine=5, target_utilization=0.6, seed=1
+            )
+        )
+        hottest = int(np.argmax(state.machine_peak_utilization()))
+        degraded, orphans = fail_machine(state, hottest)
+        result = RecoveryPlanner().recover(degraded, orphans)
+        assert result.feasible
+        assert result.peak_after <= 1.0
+        # Nothing landed on the failed machine.
+        assert not np.any(result.assignment == hottest)
+        assert result.rebuild_bytes == pytest.approx(
+            float(state.sizes[orphans].sum())
+        )
+
+    def test_rebuild_sources_prefer_siblings(self):
+        cfg = ReplicatedConfig(
+            base=SyntheticConfig(
+                num_machines=8, shards_per_machine=3, target_utilization=0.6, seed=2
+            ),
+            replication_factor=2,
+        )
+        state = generate_replicated(cfg)
+        degraded, orphans = fail_machine(state, 0)
+        assert orphans  # machine 0 hosted something
+        result = RecoveryPlanner().recover(degraded, orphans)
+        assert result.feasible
+        for j in orphans:
+            src = result.rebuild_sources[j]
+            assert src >= 0, "replicated shard should rebuild from a sibling"
+            assert src != 0  # not the dead machine
+
+    def test_unreplicated_orphans_rebuild_from_cold_storage(self):
+        state = generate(
+            SyntheticConfig(
+                num_machines=6, shards_per_machine=4, target_utilization=0.6, seed=3
+            )
+        )
+        degraded, orphans = fail_machine(state, 0)
+        result = RecoveryPlanner().recover(degraded, orphans)
+        assert all(result.rebuild_sources[j] == -1 for j in orphans)
+
+    def test_recovery_respects_anti_affinity(self):
+        cfg = ReplicatedConfig(
+            base=SyntheticConfig(
+                num_machines=8, shards_per_machine=3, target_utilization=0.65, seed=4
+            ),
+            replication_factor=2,
+        )
+        state = generate_replicated(cfg)
+        degraded, orphans = fail_machine(state, 1)
+        result = RecoveryPlanner().recover(degraded, orphans)
+        final = degraded.copy()
+        final.apply_assignment(result.assignment)
+        assert not final.has_replica_conflicts()
+
+    def test_tight_cluster_recovery_fails_without_spares(self):
+        state = generate(
+            SyntheticConfig(
+                num_machines=8,
+                shards_per_machine=6,
+                target_utilization=0.88,
+                placement_skew=0.0,
+                seed=5,
+            )
+        )
+        degraded, orphans = fail_machine(state, 0)
+        result = RecoveryPlanner().recover(degraded, orphans)
+        # 0.88 * 8/7 > 1: the surviving machines cannot absorb the load.
+        assert not result.feasible
+
+    def test_exchange_machines_absorb_the_failure(self):
+        state = generate(
+            SyntheticConfig(
+                num_machines=8,
+                shards_per_machine=6,
+                target_utilization=0.88,
+                placement_skew=0.0,
+                seed=5,
+            )
+        )
+        grown, ledger = ExchangeLedger.borrow(
+            state, make_exchange_machines(state, 2), required_returns=0
+        )
+        degraded, orphans = fail_machine(grown, 0)
+        result = RecoveryPlanner().recover(degraded, orphans, ledger)
+        assert result.feasible
+        assert result.peak_after <= 1.0
+
+    def test_rebalance_after_recovery(self):
+        state = generate(
+            SyntheticConfig(
+                num_machines=10, shards_per_machine=5, target_utilization=0.6, seed=6
+            )
+        )
+        degraded, orphans = fail_machine(state, 2)
+        planner = RecoveryPlanner(
+            rebalance_after=True,
+            sra_config=SRAConfig(alns=AlnsConfig(iterations=150, seed=1)),
+        )
+        plain = RecoveryPlanner().recover(degraded, orphans)
+        improved = planner.recover(degraded, orphans)
+        assert improved.rebalance is not None
+        assert improved.feasible
+        assert improved.peak_after <= plain.peak_after + 1e-9
+        # The rebalance never resurrects the dead machine.
+        assert not np.any(improved.assignment == 2)

@@ -1,0 +1,66 @@
+"""Direct tests for settle_fleet (fleet projection after an episode)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, ExchangeLedger, Machine, Shard, settle_fleet
+from repro.workloads import make_exchange_machines
+
+
+def base():
+    machines = Machine.homogeneous(3, 10.0)
+    shards = Shard.uniform(6, 1.0)
+    return ClusterState(machines, shards, [j % 3 for j in range(6)])
+
+
+class TestSettleFleet:
+    def test_untouched_loaners_go_back(self):
+        state = base()
+        grown, ledger = ExchangeLedger.borrow(state, make_exchange_machines(state, 2))
+        slim, settlement, returned = settle_fleet(grown, ledger)
+        assert settlement.returned_ids == (3, 4)
+        assert len(returned) == 2
+        assert slim.num_machines == 3
+        np.testing.assert_array_equal(slim.assignment, state.assignment)
+        slim.validate()
+
+    def test_exchange_projects_assignment_correctly(self):
+        state = base()
+        grown, ledger = ExchangeLedger.borrow(state, make_exchange_machines(state, 1))
+        # Empty machine 2 onto the borrowed machine 3 -> machine 2 returned.
+        for j in list(grown.machine_shards(2)):
+            grown.move(int(j), 3)
+        slim, settlement, returned = settle_fleet(grown, ledger)
+        assert settlement.returned_ids == (2,)
+        assert settlement.retained_borrowed_ids == (3,)
+        assert slim.num_machines == 3
+        # Machine 3 (borrowed) became machine 2 after re-indexing.
+        assert set(int(j) for j in slim.machine_shards(2)) == {2, 5}
+        np.testing.assert_allclose(
+            slim.loads.sum(axis=0), grown.loads.sum(axis=0)
+        )
+        slim.validate()
+
+    def test_returned_machines_carry_capacity(self):
+        state = base()
+        grown, ledger = ExchangeLedger.borrow(
+            state, make_exchange_machines(state, 1, capacity_scale=2.0)
+        )
+        _, settlement, returned = settle_fleet(grown, ledger)
+        np.testing.assert_allclose(
+            returned[0].capacity, 2.0 * state.capacity.mean(axis=0)
+        )
+
+    def test_zero_borrow_roundtrip(self):
+        state = base()
+        grown, ledger = ExchangeLedger.borrow(state, [])
+        slim, settlement, returned = settle_fleet(grown, ledger)
+        assert returned == []
+        assert slim.num_machines == 3
+
+    def test_unsatisfiable_contract_raises(self):
+        state = base()
+        grown, ledger = ExchangeLedger.borrow(state, make_exchange_machines(state, 1))
+        grown.move(0, 3)  # no vacant machine anywhere
+        with pytest.raises(Exception, match="vacant"):
+            settle_fleet(grown, ledger)

@@ -1,0 +1,195 @@
+"""Tests for the work profile and the serving simulator.
+
+The headline invariant (the paper's motivation): with identical total
+work, an imbalanced placement produces strictly worse tail latency than a
+balanced one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, Machine, Shard
+from repro.engine import CorpusConfig, ShardedIndex, generate_corpus, generate_queries
+from repro.simulate import (
+    LatencySummary,
+    ServingConfig,
+    WorkProfile,
+    simulate_serving,
+    summarize,
+)
+
+
+class TestLatencySummary:
+    def test_percentiles(self):
+        s = summarize(np.arange(1, 101, dtype=float))
+        assert s.count == 100
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p99 == pytest.approx(99.01)
+        assert s.max == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            summarize([-1.0])
+
+    def test_row_keys(self):
+        row = summarize([1.0, 2.0]).row()
+        assert set(row) == {"count", "mean", "p50", "p90", "p95", "p99", "max"}
+
+
+class TestWorkProfile:
+    def test_measure_from_real_engine(self):
+        cfg = CorpusConfig(num_docs=150, vocab_size=400, seed=2)
+        docs = generate_corpus(cfg)
+        index = ShardedIndex.build(docs, 4)
+        queries = generate_queries(cfg, 12)
+        profile = WorkProfile.measure(index, queries)
+        assert profile.num_queries == 12
+        assert profile.num_shards == 4
+        assert profile.work.sum() > 0
+
+    def test_shard_load_share_sums_to_one(self):
+        profile = WorkProfile(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        share = profile.shard_load_share()
+        assert share.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(share, [3 / 8, 5 / 8])
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            WorkProfile(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkProfile(np.array([[-1.0]]))
+
+    def test_empty_queries_rejected(self):
+        docs = generate_corpus(CorpusConfig(num_docs=50, seed=0))
+        index = ShardedIndex.build(docs, 2)
+        with pytest.raises(ValueError, match="non-empty"):
+            WorkProfile.measure(index, [])
+
+
+def uniform_profile(num_shards, work=1000.0):
+    """Every query costs the same on every shard."""
+    return WorkProfile(np.full((4, num_shards), work))
+
+
+def cluster(num_machines, assignment, cap=4.0):
+    machines = Machine.homogeneous(num_machines, {"cpu": cap, "ram": 100.0, "disk": 100.0})
+    shards = Shard.uniform(len(assignment), {"cpu": 1.0, "ram": 1.0, "disk": 1.0})
+    return ClusterState(machines, shards, assignment)
+
+
+class TestSimulateServing:
+    def test_deterministic(self):
+        state = cluster(2, [0, 1])
+        prof = uniform_profile(2)
+        cfg = ServingConfig(arrival_rate=20, duration=10, seed=3)
+        a = simulate_serving(state, prof, config=cfg)
+        b = simulate_serving(state, prof, config=cfg)
+        assert a.latency == b.latency
+
+    def test_low_load_latency_is_service_time(self):
+        state = cluster(2, [0, 1])
+        prof = uniform_profile(2, work=1000.0)
+        cfg = ServingConfig(
+            arrival_rate=0.5, duration=100, seed=1, postings_per_cpu_second=1000.0
+        )
+        report = simulate_serving(state, prof, config=cfg)
+        # speed = 4 cpu * 1000 = 4000 postings/s; service = 1000/4000 = 0.25s
+        assert report.latency.p50 == pytest.approx(0.25, rel=0.05)
+
+    def test_higher_load_increases_latency(self):
+        state = cluster(2, [0, 1])
+        prof = uniform_profile(2)
+        low = simulate_serving(
+            state, prof, config=ServingConfig(arrival_rate=1.0, duration=50, seed=2)
+        )
+        high = simulate_serving(
+            state, prof, config=ServingConfig(arrival_rate=100.0, duration=50, seed=2)
+        )
+        assert high.latency.p99 > low.latency.p99
+
+    def test_imbalanced_placement_has_worse_tail(self):
+        # 4 shards on 4 machines vs all 4 shards on one machine.
+        balanced = cluster(4, [0, 1, 2, 3])
+        imbalanced = cluster(4, [0, 0, 0, 0])
+        prof = uniform_profile(4)
+        cfg = ServingConfig(arrival_rate=10.0, duration=30, seed=4)
+        b = simulate_serving(balanced, prof, config=cfg)
+        i = simulate_serving(imbalanced, prof, config=cfg)
+        assert i.latency.p99 > b.latency.p99
+        assert i.latency.p50 > b.latency.p50
+        assert i.peak_busy_fraction > b.peak_busy_fraction
+
+    def test_background_load_slows_machine(self):
+        state = cluster(2, [0, 1])
+        prof = uniform_profile(2)
+        plain = simulate_serving(
+            state, prof, config=ServingConfig(arrival_rate=20, duration=20, seed=5)
+        )
+        derated = simulate_serving(
+            state,
+            prof,
+            config=ServingConfig(
+                arrival_rate=20, duration=20, seed=5, background_load={0: 0.5}
+            ),
+        )
+        assert derated.latency.p99 > plain.latency.p99
+
+    def test_busy_fraction_tracks_utilization(self):
+        state = cluster(1, [0])
+        prof = uniform_profile(1, work=1000.0)
+        # speed 4*2e5=8e5 -> service 1.25e-3 s; 100 qps -> busy ~ 0.125
+        report = simulate_serving(
+            state, prof, config=ServingConfig(arrival_rate=100, duration=50, seed=6)
+        )
+        assert report.machine_busy_fraction[0] == pytest.approx(0.125, rel=0.1)
+
+    def test_mapping_validation(self):
+        state = cluster(2, [0, 1])
+        prof = uniform_profile(2)
+        with pytest.raises(ValueError, match="every cluster shard"):
+            simulate_serving(state, prof, shard_to_engine_shard=[0])
+        with pytest.raises(ValueError, match="unknown engine shards"):
+            simulate_serving(state, prof, shard_to_engine_shard=[0, 5])
+
+    def test_unassigned_state_rejected(self):
+        machines = Machine.homogeneous(2, 4.0)
+        shards = Shard.uniform(2, 1.0)
+        state = ClusterState(machines, shards)
+        with pytest.raises(ValueError, match="fully assigned"):
+            simulate_serving(state, uniform_profile(2))
+
+    def test_background_load_unknown_machine(self):
+        state = cluster(2, [0, 1])
+        with pytest.raises(ValueError, match="unknown machine"):
+            simulate_serving(
+                state,
+                uniform_profile(2),
+                config=ServingConfig(background_load={9: 0.5}),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(arrival_rate=0)
+        with pytest.raises(ValueError):
+            ServingConfig(duration=-1)
+        with pytest.raises(ValueError, match="must be < 1"):
+            ServingConfig(background_load={0: 1.0})
+
+
+class TestWorkProfilePersistence:
+    def test_json_roundtrip(self, tmp_path):
+        profile = WorkProfile(np.array([[1.0, 2.5], [0.0, 7.0]]))
+        path = tmp_path / "profile.json"
+        profile.save_json(path)
+        clone = WorkProfile.load_json(path)
+        np.testing.assert_allclose(clone.work, profile.work)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 9, "work": [[1.0]]}')
+        with pytest.raises(ValueError, match="version"):
+            WorkProfile.load_json(path)

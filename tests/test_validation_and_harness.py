@@ -1,0 +1,94 @@
+"""Tests for the shared validation helpers and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_demand_array,
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+)
+from repro.experiments import REGISTRY
+from repro.experiments.harness import format_table, is_full_run, register
+
+
+class TestValidationHelpers:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative("x", -1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.5) == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                check_fraction("x", bad)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="one of"):
+            check_in("mode", "c", ("a", "b"))
+
+    def test_as_demand_array_scalar(self):
+        np.testing.assert_allclose(as_demand_array("d", 2.0), [2.0])
+
+    def test_as_demand_array_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_demand_array("d", np.ones((2, 2)))
+        with pytest.raises(ValueError, match="finite"):
+            as_demand_array("d", [np.inf])
+        with pytest.raises(ValueError, match="non-negative"):
+            as_demand_array("d", [-1.0])
+        with pytest.raises(ValueError, match="dimensions"):
+            as_demand_array("d", [1.0, 2.0], dims=3)
+
+
+class TestHarness:
+    def test_format_table_alignment_and_types(self):
+        rows = [
+            {"name": "a", "value": 0.123456, "count": 3, "ok": True},
+            {"name": "bb", "value": 1e7, "count": 10, "ok": False},
+        ]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "yes" in text and "no" in text
+        assert "1e+07" in text  # large numbers go scientific
+
+    def test_format_table_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_is_full_run_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not is_full_run()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_run()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not is_full_run()
+
+    def test_register_decorator(self):
+        @register("zz-test")
+        def run(fast=True):
+            return [{"x": 1}]
+
+        try:
+            assert REGISTRY["zz-test"]() == [{"x": 1}]
+        finally:
+            del REGISTRY["zz-test"]
+
+    def test_all_experiments_registered(self):
+        expected = {f"e{i}" for i in range(1, 17)}
+        assert expected <= set(REGISTRY)

@@ -1,0 +1,151 @@
+"""Tests for the synthetic instance generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    SyntheticConfig,
+    generate,
+    generate_uniform,
+    generate_zipf,
+    make_exchange_machines,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        SyntheticConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_machines": 0},
+            {"shards_per_machine": 0},
+            {"target_utilization": 0.0},
+            {"zipf_alpha": 0.0},
+            {"dim_correlation": 1.5},
+            {"placement_skew": -0.1},
+            {"machine_capacity": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kwargs)
+
+    def test_num_shards(self):
+        assert SyntheticConfig(num_machines=5, shards_per_machine=3).num_shards == 15
+
+
+class TestGenerate:
+    def test_shapes(self):
+        state = generate(SyntheticConfig(num_machines=10, shards_per_machine=4, seed=1))
+        assert state.num_machines == 10
+        assert state.num_shards == 40
+        assert state.is_fully_assigned()
+
+    def test_determinism(self):
+        cfg = SyntheticConfig(seed=42)
+        a, b = generate(cfg), generate(cfg)
+        np.testing.assert_allclose(a.demand, b.demand)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_differ(self):
+        a = generate(SyntheticConfig(seed=0))
+        b = generate(SyntheticConfig(seed=1))
+        assert not np.allclose(a.demand, b.demand)
+
+    def test_target_utilization_hit(self):
+        for util in (0.5, 0.75):
+            state = generate(SyntheticConfig(target_utilization=util, seed=3))
+            # Clipping of oversized shards can shave a little off the total.
+            np.testing.assert_allclose(state.mean_utilization(), util, rtol=0.05)
+
+    def test_feasible_start_respects_capacity(self):
+        state = generate(SyntheticConfig(target_utilization=0.85, placement_skew=0.8, seed=5))
+        assert state.is_within_capacity()
+
+    def test_infeasible_start_allowed_when_requested(self):
+        state = generate(
+            SyntheticConfig(
+                target_utilization=0.9, placement_skew=0.95, feasible_start=False, seed=5
+            )
+        )
+        # With extreme skew some machine overflows (that is the point).
+        assert len(state.overloaded_machines()) > 0
+
+    def test_balanced_start_with_zero_skew(self):
+        state = generate(SyntheticConfig(placement_skew=0.0, seed=7))
+        peak = state.machine_peak_utilization()
+        assert peak.max() - peak.min() < 0.25  # LPT start is roughly even
+
+    def test_skewed_start_is_imbalanced(self):
+        balanced = generate(SyntheticConfig(placement_skew=0.0, seed=7))
+        skewed = generate(SyntheticConfig(placement_skew=0.7, seed=7))
+        assert skewed.machine_peak_utilization().std() > balanced.machine_peak_utilization().std()
+
+    def test_zipf_demands_are_heavy_tailed(self):
+        state = generate_zipf(seed=11, num_machines=20, shards_per_machine=10)
+        mags = state.demand.sum(axis=1)
+        # Top 10% of shards should hold a large share of total demand.
+        top = np.sort(mags)[-len(mags) // 10 :].sum()
+        assert top / mags.sum() > 0.3
+
+    def test_uniform_demands_are_not(self):
+        state = generate_uniform(seed=11, num_machines=20, shards_per_machine=10)
+        mags = state.demand.sum(axis=1)
+        top = np.sort(mags)[-len(mags) // 10 :].sum()
+        assert top / mags.sum() < 0.25
+
+    def test_no_shard_exceeds_machine(self):
+        state = generate_zipf(seed=13, target_utilization=0.9)
+        assert np.all(state.demand <= 0.95 * state.capacity.max(axis=0) + 1e-9)
+
+
+class TestExchangeMachines:
+    def test_count_and_flags(self):
+        state = generate(SyntheticConfig(seed=0))
+        ms = make_exchange_machines(state, 3)
+        assert len(ms) == 3
+        assert all(m.exchange for m in ms)
+
+    def test_capacity_matches_fleet_mean(self):
+        state = generate(SyntheticConfig(seed=0))
+        ms = make_exchange_machines(state, 1)
+        np.testing.assert_allclose(ms[0].capacity, state.capacity.mean(axis=0))
+
+    def test_capacity_scale(self):
+        state = generate(SyntheticConfig(seed=0))
+        ms = make_exchange_machines(state, 1, capacity_scale=2.0)
+        np.testing.assert_allclose(ms[0].capacity, 2.0 * state.capacity.mean(axis=0))
+
+    def test_negative_count_rejected(self):
+        state = generate(SyntheticConfig(seed=0))
+        with pytest.raises(ValueError, match="count"):
+            make_exchange_machines(state, -1)
+
+
+@given(
+    util=st.floats(min_value=0.3, max_value=0.85),
+    skew=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_generated_instances_are_valid(util, skew, seed):
+    """Any config in the supported envelope yields a fully assigned,
+    capacity-feasible instance whose loads match its assignment."""
+    cfg = SyntheticConfig(
+        num_machines=8,
+        shards_per_machine=6,
+        target_utilization=util,
+        placement_skew=skew,
+        seed=seed,
+    )
+    state = generate(cfg)
+    assert state.is_fully_assigned()
+    assert state.is_within_capacity()
+    # loads consistent with assignment
+    recomputed = np.zeros_like(state.loads)
+    np.add.at(recomputed, state.assignment, state.demand)
+    np.testing.assert_allclose(state.loads, recomputed, atol=1e-9)
