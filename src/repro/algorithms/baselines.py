@@ -87,8 +87,7 @@ class GreedyRebalancer(Rebalancer):
 
     @staticmethod
     def _improve_once(work: ClusterState) -> bool:
-        util = work.loads / work.capacity
-        machine_peak = util.max(axis=1)
+        machine_peak = work.machine_peak_utilization()
         hottest = int(np.argmax(machine_peak))
         peak = machine_peak[hottest]
         members = work.machine_shards(hottest)
@@ -211,8 +210,7 @@ class LocalSearchRebalancer(Rebalancer):
         return float(machine_peak.max()), float(np.sum(machine_peak**2))
 
     def _try_move(self, work: ClusterState, rng: np.random.Generator) -> bool:
-        util = work.loads / work.capacity
-        machine_peak = util.max(axis=1)
+        machine_peak = work.machine_peak_utilization()
         current = self._score(machine_peak)
         hottest = int(np.argmax(machine_peak))
         members = work.machine_shards(hottest)
@@ -240,8 +238,7 @@ class LocalSearchRebalancer(Rebalancer):
         return False
 
     def _try_swap(self, work: ClusterState, rng: np.random.Generator) -> bool:
-        util = work.loads / work.capacity
-        machine_peak = util.max(axis=1)
+        machine_peak = work.machine_peak_utilization()
         current = self._score(machine_peak)
         hottest = int(np.argmax(machine_peak))
         hot_members = work.machine_shards(hottest)

@@ -51,8 +51,7 @@ class DestroyOperator(Protocol):
 
 def _remove(state: ClusterState, shard_ids: np.ndarray | list[int]) -> list[int]:
     out = [int(j) for j in shard_ids]
-    for j in out:
-        state.unassign(j)
+    state.unassign_many(out)
     return out
 
 
@@ -76,11 +75,18 @@ def worst_machine_removal(
     largest shards, until *quantity* shards are collected.
     """
     order = np.argsort(-state.machine_peak_utilization())
+    # Group shards by machine once (stable sort keeps each group's ids
+    # ascending, matching machine_shards()) instead of scanning the
+    # assignment array per visited machine.
+    assign = state.assignment_view()
+    by_machine = np.argsort(assign, kind="stable")
+    keys = assign[by_machine]
     chosen: list[int] = []
     for i in order:
-        members = state.machine_shards(int(i))
-        if members.size == 0:
+        lo, hi = np.searchsorted(keys, (i, i + 1))
+        if lo == hi:
             continue
+        members = by_machine[lo:hi]
         members = members[np.argsort(-state.demand[members].sum(axis=1))]
         room = quantity - len(chosen)
         chosen.extend(int(j) for j in members[:room])
@@ -102,7 +108,7 @@ def shaw_removal(
     if assigned.size == 0:
         return []
     seed = int(rng.choice(assigned))
-    norm = state.demand / np.maximum(state.demand.max(axis=0, keepdims=True), 1e-12)
+    norm = state.normalized_demand()
     dist = np.abs(norm[assigned] - norm[seed]).sum(axis=1)
     take = min(quantity, assigned.size)
     nearest = assigned[np.argsort(dist)][:take]
@@ -120,8 +126,7 @@ def vacancy_removal(
     borrowed ones: emptying an in-service machine is what enables the
     exchange to return it.
     """
-    counts = state.shard_counts()
-    occupied = np.flatnonzero(counts > 0)
+    occupied = np.flatnonzero(state.shard_counts_view() > 0)
     if occupied.size == 0:
         return []
     # Prefer in-service machines, then least loaded (L1 of utilization).
@@ -153,7 +158,6 @@ def exchange_swap_removal(
     blocked = np.flatnonzero(state.blocked_mask & ~state.offline_mask)
     if blocked.size == 0:
         return []
-    counts = state.shard_counts()
     open_machines = np.flatnonzero(~state.blocked_mask)
     # Candidate to close: open machine with least utilization mass
     # (cheapest to drain).  Vacant open machines are ideal.
@@ -162,9 +166,7 @@ def exchange_swap_removal(
     release = int(rng.choice(blocked))
     if close == release:
         return []
-    members = [int(j) for j in state.machine_shards(close)]
-    for j in members:
-        state.unassign(j)
+    members = _remove(state, state.machine_shards(close))
     state.unblock_machine(release)
     state.block_machine(close)
     return members

@@ -76,6 +76,15 @@ class AlnsConfig:
     score_improve: float = 4.0
     score_accept: float = 1.0
     seed: int = 0
+    #: Record the incumbent objective after every iteration.  Disable on
+    #: long runs where only the final outcome matters.
+    collect_history: bool = True
+    #: Run destroy/repair inside a ClusterState transaction and roll back
+    #: rejected candidates, instead of copying the whole state every
+    #: iteration.  Same trajectory either way (the transaction restores
+    #: rejected states bitwise); False keeps the copy-based loop as a
+    #: reference implementation.
+    delta_evaluation: bool = True
 
     def __post_init__(self) -> None:
         check_positive("iterations", self.iterations)
@@ -176,6 +185,7 @@ class AlnsEngine:
         vetoed = 0
         started = time.perf_counter()
         it = 0
+        use_delta = cfg.delta_evaluation
 
         for it in range(1, cfg.iterations + 1):
             if cfg.time_limit is not None and time.perf_counter() - started > cfg.time_limit:
@@ -185,11 +195,25 @@ class AlnsEngine:
             d_uses[di] += 1
             r_uses[ri] += 1
 
-            candidate = current.copy()
             q = int(rng.integers(q_min, q_max + 1))
-            removed = self.destroy_ops[di](candidate, rng, q)
-            self.repair_ops[ri](candidate, rng, removed)
-            cand_obj = float(objective(candidate))
+            if use_delta:
+                # Mutate the incumbent inside a transaction; a rejected
+                # candidate is rolled back bitwise instead of being a
+                # throwaway copy of the whole state.
+                candidate = current
+                candidate.begin()
+                try:
+                    removed = self.destroy_ops[di](candidate, rng, q)
+                    self.repair_ops[ri](candidate, rng, removed)
+                    cand_obj = float(objective(candidate))
+                except BaseException:
+                    candidate.rollback()
+                    raise
+            else:
+                candidate = current.copy()
+                removed = self.destroy_ops[di](candidate, rng, q)
+                self.repair_ops[ri](candidate, rng, removed)
+                cand_obj = float(objective(candidate))
 
             score = 0.0
             if cand_obj < best_obj - 1e-12:
@@ -206,16 +230,22 @@ class AlnsEngine:
                 -(cand_obj - cur_obj) / max(temperature, 1e-12)
             )
             if accept:
-                current = candidate
+                if use_delta:
+                    current.commit()
+                else:
+                    current = candidate
                 cur_obj = cand_obj
                 accepted += 1
                 if score == 0.0:
                     score = cfg.score_accept
+            elif use_delta:
+                current.rollback()
             d_scores[di] += score
             r_scores[ri] += score
 
             temperature *= cfg.cooling
-            history.append(cur_obj)
+            if cfg.collect_history:
+                history.append(cur_obj)
 
             if it % cfg.segment_length == 0:
                 d_weights = _update_weights(d_weights, d_scores, d_uses, cfg.reaction)

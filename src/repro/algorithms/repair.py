@@ -6,7 +6,8 @@ is scored by the machine's peak utilization after insertion, with a large
 penalty when the insertion overflows capacity (so overflow is used only
 when nothing fits, and the objective's overload penalty then drives the
 search away from it).  Blocked machines (SRA's designated-return
-machines) score ``inf`` and are never chosen.
+machines) score ``inf`` and are never chosen, as are machines hosting a
+replica sibling of the shard being scored.
 
 * :func:`greedy_best_fit` — insert largest-demand first, each on its
   best-scoring machine.
@@ -14,10 +15,30 @@ machines) score ``inf`` and are never chosen.
   shard whose best option beats its second-best by the most (the shard
   that will suffer most if postponed).
 
-Both operators run on a shared :class:`_ScoreTable`: the full (q, m)
-score matrix is built once, vectorized, and after each insertion only the
-changed machine's column is recomputed — O(q·m·d) total per repair
-instead of the naive O(q²·m·d).
+Implementation notes (this is the hottest code in the library — see the
+"Delta evaluation contract" section of docs/ARCHITECTURE.md):
+
+* Both operators keep a (removed × machines) score matrix *current*: an
+  insertion changes exactly one machine, so exactly one column is
+  refreshed per step.  Placements are always the true first-index argmin
+  of the current row.
+* Score kernels are written as per-dimension operations on contiguous
+  column copies: axis-1 reductions over (m, d) arrays cost 3-10× more
+  than the equivalent d-step fold at the sizes this library runs, and a
+  scalar bound check skips overflow detection entirely when no removed
+  shard can overflow the refreshed machine.
+* Regret-2 re-ranks the pending shards after every insertion (one
+  partition over the active rows) while ``m <= _EXACT_REGRET_MAX``.  On
+  balanced instances incremental rank maintenance degenerates — every
+  row prefers the same few machines, so each insertion disturbs most
+  rows' top-2 — which makes the per-step partition the honest cost
+  floor.  Above the threshold the O(q·m) per-step re-rank would
+  dominate, so regret-2 freezes the insertion *order* at its build-time
+  regrets (placements remain exact argmins of the current scores); see
+  docs/ARCHITECTURE.md for the trade-off discussion.
+* Greedy (all sizes) and regret-2 (up to the threshold) match the
+  pre-optimization reference bitwise, pinned by the fixed-seed engine
+  tests and `tools/bench_alns.py --check`.
 """
 
 from __future__ import annotations
@@ -38,6 +59,10 @@ __all__ = [
 #: Score penalty for a placement that overflows capacity.
 _OVERFLOW_PENALTY = 1e3
 
+#: Largest machine count for which regret-2 re-ranks pending shards after
+#: every insertion.  Above it, ranks are frozen at repair start.
+_EXACT_REGRET_MAX = 128
+
 
 class RepairOperator(Protocol):
     """Signature of a repair operator."""
@@ -52,86 +77,148 @@ class RepairOperator(Protocol):
     ) -> None: ...
 
 
-class _ScoreTable:
-    """Incrementally maintained (q, m) placement-score matrix.
+class _ScoreKernel:
+    """Shared scoring machinery for one repair batch.
 
+    Holds the removed shards, their demands (plus a transposed contiguous
+    copy), contiguous per-dimension load/capacity columns (synced with
+    the state by :meth:`refresh_machine`), and the score matrix.
     ``scores[r, i]`` is the peak utilization of machine ``i`` after
     inserting removed shard ``r`` there (+ overflow penalty, inf when
-    blocked).  After an insertion, only the receiving machine's column
-    changes.
+    blocked or replica-anti-affine).
     """
 
     def __init__(self, state: ClusterState, removed: Sequence[int]) -> None:
         self.state = state
         self.shards = np.asarray(removed, dtype=np.int64)
-        demand = state.demand[self.shards]  # (q, d)
-        after = state.loads[None, :, :] + demand[:, None, :]  # (q, m, d)
-        util = after / state.capacity[None, :, :]
-        self.scores = util.max(axis=2)
-        overflow = np.any(after > state.capacity[None, :, :] + 1e-12, axis=2)
-        self.scores += _OVERFLOW_PENALTY * overflow
-        self.scores[:, state.blocked_mask] = np.inf
-        self.active = np.ones(len(self.shards), dtype=bool)
-        # Replica anti-affinity: machines already hosting a sibling score
-        # inf; when a sibling from this batch lands somewhere, that
-        # machine is struck for the remaining members of the group.
-        self._group_rows: dict[int, list[int]] = {}
-        for row, j in enumerate(self.shards):
-            sh = state.shards[int(j)]
-            if sh.replica_of >= 0:
-                self._group_rows.setdefault(sh.replica_of, []).append(row)
-            hosts = state.replica_peer_machines(int(j))
-            if hosts.size:
-                self.scores[row, hosts] = np.inf
+        self.demand = state.demand[self.shards]  # (q, d)
+        self.demand_t = np.ascontiguousarray(self.demand.T)  # (d, q)
+        q, d = self.demand.shape
+        m = state.num_machines
+        self.q = q
+        self.m = m
+        self.d = d
+        capacity = state.capacity
+        self.cap_cols = [np.ascontiguousarray(capacity[:, k]) for k in range(d)]
+        self.cap_tol_cols = [c + 1e-12 for c in self.cap_cols]
+        self.load_cols = [np.ascontiguousarray(state.loads[:, k]) for k in range(d)]
+        # Largest per-dimension demand in the batch: lets column_scores()
+        # prove "no removed shard overflows machine i" with d scalar
+        # comparisons instead of d vector ones.
+        self.demand_max = [self.demand_t[k].max() for k in range(d)]
+        self.group_rows: dict[int, list[int]] = {}
+        if state.replica_groups:
+            for row, j in enumerate(self.shards.tolist()):
+                g = state.shards[j].replica_of
+                if g >= 0:
+                    self.group_rows.setdefault(g, []).append(row)
+        self.scores = self._build_matrix()
 
-    def insert(self, row: int, machine: int) -> None:
-        """Assign row's shard to *machine* and refresh that column."""
+    def _build_matrix(self) -> np.ndarray:
         state = self.state
-        shard_id = int(self.shards[row])
-        state.assign_shard(shard_id, machine)
-        self.active[row] = False
-        group = state.shards[shard_id].replica_of
-        if group >= 0:
-            for sibling_row in self._group_rows.get(group, ()):
-                if self.active[sibling_row]:
-                    self.scores[sibling_row, machine] = np.inf
-        if not np.any(self.active):
-            return
-        rows = np.flatnonzero(self.active)
-        demand = state.demand[self.shards[rows]]
-        after = state.loads[machine][None, :] + demand  # (k, d)
-        col = (after / state.capacity[machine][None, :]).max(axis=1)
-        col += _OVERFLOW_PENALTY * np.any(
-            after > state.capacity[machine][None, :] + 1e-12, axis=1
-        )
-        if state.blocked_mask[machine]:
-            col[:] = np.inf
-        keep_inf = ~np.isfinite(self.scores[rows, machine])
-        col[keep_inf] = np.inf
-        self.scores[rows, machine] = col
+        q, m, d = self.q, self.m, self.d
+        scores = np.empty((q, m))
+        work = np.empty((q, m))
+        overflow = np.zeros((q, m), dtype=bool)
+        over_k = np.empty((q, m), dtype=bool)
+        for k in range(d):
+            np.add(self.load_cols[k], self.demand[:, k, None], out=work)
+            np.greater(work, self.cap_tol_cols[k], out=over_k)
+            np.logical_or(overflow, over_k, out=overflow)
+            np.divide(work, self.cap_cols[k], out=work)
+            if k == 0:
+                np.copyto(scores, work)
+            else:
+                np.maximum(scores, work, out=scores)
+        scores += _OVERFLOW_PENALTY * overflow
+        scores[:, state.blocked_mask] = np.inf
+        if self.group_rows:
+            for row in range(q):
+                hosts = state.replica_peer_machines(int(self.shards[row]))
+                if hosts.size:
+                    scores[row, hosts] = np.inf
+        return scores
 
-    def best_machine(self, row: int) -> int:
-        choice = int(np.argmin(self.scores[row]))
-        if np.isfinite(self.scores[row, choice]):
-            return choice
-        # Every machine is blocked or anti-affine (replication factor near
-        # the machine count): fall back to the least-loaded open machine
-        # and let the objective's replica penalty drive repair next round.
+    def refresh_machine(self, machine: int) -> None:
+        """Sync the contiguous load columns after an insertion."""
+        loads = self.state.loads
+        for k in range(self.d):
+            self.load_cols[k][machine] = loads[machine, k]
+
+    def column_scores(self, machine: int) -> np.ndarray:
+        """(q,) current scores of every removed shard on *machine* (no
+        inf marks — callers overlay blocked/struck state)."""
+        can_overflow = False
+        for k in range(self.d):
+            if self.load_cols[k][machine] + self.demand_max[k] > self.cap_tol_cols[k][machine]:
+                can_overflow = True
+                break
+        a0 = self.load_cols[0][machine] + self.demand_t[0]
+        col = a0 / self.cap_cols[0][machine]
+        if can_overflow:
+            over = a0 > self.cap_tol_cols[0][machine]
+        for k in range(1, self.d):
+            a = self.load_cols[k][machine] + self.demand_t[k]
+            np.maximum(col, a / self.cap_cols[k][machine], out=col)
+            if can_overflow:
+                over |= a > self.cap_tol_cols[k][machine]
+        if can_overflow:
+            col += _OVERFLOW_PENALTY * over
+        return col
+
+    def refresh_column(self, machine: int) -> None:
+        """Recompute the score matrix column of *machine*, preserving inf
+        (blocked / struck) entries."""
+        old = self.scores[:, machine]
+        col = self.column_scores(machine)
+        col[~np.isfinite(old)] = np.inf
+        self.scores[:, machine] = col
+
+    def fallback_machine(self, row: int) -> int:
+        """Least-loaded open machine — used when every machine is blocked
+        or anti-affine (replication factor near the machine count); the
+        objective's replica penalty then drives repair next round."""
         state = self.state
-        extra = state.demand[self.shards[row]]
-        peak = ((state.loads + extra) / state.capacity).max(axis=1)
+        peak = ((state.loads + self.demand[row]) / state.capacity).max(axis=1)
         peak[state.blocked_mask] = np.inf
         return int(np.argmin(peak))
 
-    def regrets(self) -> tuple[np.ndarray, np.ndarray]:
-        """(active_rows, regret values) — regret = 2nd best − best score."""
-        rows = np.flatnonzero(self.active)
-        sub = self.scores[rows]
-        if sub.shape[1] == 1:
-            return rows, np.full(rows.size, np.inf)
-        part = np.partition(sub, 1, axis=1)
-        reg = part[:, 1] - part[:, 0]
-        return rows, reg
+    def best_machine(self, row: int) -> int:
+        """First-index argmin over the row's current scores."""
+        row_scores = self.scores[row]
+        choice = int(np.argmin(row_scores))
+        if np.isfinite(row_scores[choice]):
+            return choice
+        return self.fallback_machine(row)
+
+    def insert(self, row: int, machine: int) -> int:
+        """Assign row's shard to *machine* and refresh caches.  Returns
+        the shard's replica group (-1 when unreplicated) so callers can
+        strike siblings."""
+        shard_id = int(self.shards[row])
+        self.state.assign_shard(shard_id, machine)
+        self.refresh_machine(machine)
+        if self.group_rows:
+            return self.state.shards[shard_id].replica_of
+        return -1
+
+
+def _insert_in_order(kern: _ScoreKernel, order: Sequence[int]) -> None:
+    """Insert rows in the given order, each on the current best machine,
+    refreshing the touched column and striking replica siblings that are
+    still pending."""
+    pending_pos = {int(row): pos for pos, row in enumerate(order)}
+    scores = kern.scores
+    for pos, row in enumerate(order):
+        row = int(row)
+        machine = kern.best_machine(row)
+        group = kern.insert(row, machine)
+        if pos + 1 < kern.q:
+            kern.refresh_column(machine)
+        if group >= 0:
+            for sibling in kern.group_rows.get(group, ()):
+                if pending_pos[sibling] > pos:
+                    scores[sibling, machine] = np.inf
 
 
 def greedy_best_fit(
@@ -141,28 +228,72 @@ def greedy_best_fit(
     if not removed:
         return
     order = sorted(removed, key=lambda j: -float(state.demand[j].sum()))
-    table = _ScoreTable(state, order)
-    for row in range(len(order)):
-        table.insert(row, table.best_machine(row))
+    kern = _ScoreKernel(state, order)
+    _insert_in_order(kern, range(kern.q))
+
+
+def _regret2_exact(state: ClusterState, removed: Sequence[int]) -> None:
+    """Regret-2 with re-ranking after every insertion (m <= threshold).
+
+    Regrets are recomputed each step with one partition over the active
+    rows of the maintained score matrix — at small m the whole active
+    submatrix is a few KB, so this costs less than any bookkeeping that
+    would avoid it.
+    """
+    kern = _ScoreKernel(state, removed)
+    scores = kern.scores
+    demand_mass = kern.demand.sum(axis=1)
+    active = np.arange(kern.q)
+    for _ in range(kern.q):
+        if kern.m == 1:
+            reg = np.full(active.size, np.inf)
+        else:
+            part = np.partition(scores[active], 1, axis=1)
+            reg = part[:, 1] - part[:, 0]
+        # Tie-break regret by demand so big shards go early.
+        key = reg + 1e-9 * demand_mass[active]
+        row = int(active[np.argmax(key)])
+        machine = kern.best_machine(row)
+        group = kern.insert(row, machine)
+        active = active[active != row]
+        if active.size == 0:
+            break
+        kern.refresh_column(machine)
+        if group >= 0:
+            for sibling in kern.group_rows.get(group, ()):
+                if sibling != row:
+                    scores[sibling, machine] = np.inf
+
+
+def _regret2_frozen(state: ClusterState, removed: Sequence[int]) -> None:
+    """Regret-2 with the insertion order frozen at build-time regrets.
+
+    Placements stay exact (argmin of the maintained current scores);
+    only the *priority* in which pending shards are visited is computed
+    once, from the initial score matrix.  At large m this trades the
+    O(affected·m)-per-step rank maintenance for one O(q·m) partition.
+    """
+    kern = _ScoreKernel(state, removed)
+    if kern.m > 1:
+        part = np.partition(kern.scores, 1, axis=1)
+        reg = part[:, 1] - part[:, 0]
+    else:
+        reg = np.full(kern.q, np.inf)
+    key = reg + 1e-9 * kern.demand.sum(axis=1)
+    order = np.argsort(-key, kind="stable")
+    _insert_in_order(kern, order)
 
 
 def regret2_insertion(
     state: ClusterState, rng: np.random.Generator, removed: Sequence[int]
 ) -> None:
-    """Regret-2 insertion: place the shard with the largest regret first.
-
-    Incremental score maintenance makes this O(q·(q + m·d)) per repair.
-    """
+    """Regret-2 insertion: place the shard with the largest regret first."""
     if not removed:
         return
-    table = _ScoreTable(state, list(removed))
-    demand_mass = state.demand[np.asarray(removed, dtype=np.int64)].sum(axis=1)
-    for _ in range(len(removed)):
-        rows, reg = table.regrets()
-        # Tie-break regret by demand so big shards go early.
-        key = reg + 1e-9 * demand_mass[rows]
-        row = int(rows[np.argmax(key)])
-        table.insert(row, table.best_machine(row))
+    if state.num_machines > _EXACT_REGRET_MAX:
+        _regret2_frozen(state, list(removed))
+    else:
+        _regret2_exact(state, list(removed))
 
 
 #: Default operator portfolio of SRA.

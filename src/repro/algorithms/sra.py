@@ -35,7 +35,7 @@ from repro.algorithms.destroy import (
     worst_machine_removal,
 )
 from repro.algorithms.lns import AlnsEngine
-from repro.algorithms.objective import Objective
+from repro.algorithms.objective import IncrementalObjective, Objective
 from repro.algorithms.repair import DEFAULT_REPAIR_OPS, RepairOperator
 from repro.algorithms.sra_config import SRAConfig
 
@@ -106,7 +106,7 @@ class SRA(Rebalancer):
         )
         outcome = engine.run(
             work,
-            objective,
+            IncrementalObjective(objective, cross_check=cfg.debug_cross_check),
             best_filter=best_filter,
             initial_is_valid_best=initial_valid,
         )

@@ -41,6 +41,10 @@ class SRAConfig:
         Step budget of the polish phase.
     seed:
         Convenience override for ``alns.seed``.
+    debug_cross_check:
+        Re-derive every delta-evaluated objective from scratch and raise
+        on any mismatch (see the "Delta evaluation contract" section of
+        docs/ARCHITECTURE.md).  Slow; for tests and operator development.
     """
 
     alns: AlnsConfig = field(default_factory=AlnsConfig)
@@ -51,6 +55,7 @@ class SRAConfig:
     polish: bool = True
     polish_steps: int = 3000
     seed: int | None = None
+    debug_cross_check: bool = False
 
     def __post_init__(self) -> None:
         if self.max_hops_per_shard < 1:

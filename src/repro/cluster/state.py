@@ -7,13 +7,26 @@ assignment array ``assign[j] = machine index`` — and keeps the per-machine
 load matrix incrementally up to date so that a single shard move costs
 O(d) rather than O(n·d).
 
-Hot-path contract (relied on by the LNS inner loop):
+Hot-path contract (relied on by the LNS inner loop; see the "Delta
+evaluation contract" section of docs/ARCHITECTURE.md):
 
 * ``move``/``unassign``/``assign_shard`` update ``loads`` in O(d);
+* incrementally maintained caches: per-machine shard counts
+  (:meth:`shard_counts`, O(1) per move), the vacant in-service machine
+  count (:attr:`num_vacant_in_service`), the unassigned-shard count
+  (:meth:`is_fully_assigned` is O(1)), per-machine peak utilization
+  (:meth:`machine_peak_utilization`, lazily refreshed for dirty rows
+  only) and the replica anti-affinity conflict count
+  (:attr:`replica_conflict_count`);
 * ``capacity``, ``demand``, ``loads`` are dense ``float64`` arrays safe to
   read (but not write) directly;
 * ``copy()`` is a cheap structural copy (arrays copied, descriptions
-  shared).
+  shared);
+* ``begin()``/``commit()``/``rollback()`` bracket a transaction: every
+  ``move``/``assign_shard``/``unassign``/``unassign_many``/
+  ``block_machine``/``unblock_machine`` inside the transaction is
+  recorded in an undo journal, and ``rollback()`` restores the state —
+  including every cache above — **bitwise** to its ``begin()`` image.
 """
 
 from __future__ import annotations
@@ -31,6 +44,68 @@ __all__ = ["ClusterState", "UNASSIGNED"]
 #: Sentinel value in the assignment array for a shard not currently placed
 #: (only ever observed transiently, inside destroy/repair cycles).
 UNASSIGNED: int = -1
+
+#: ``begin(mode="auto")`` picks the array-snapshot journal while
+#: ``n + m·d`` is at most this many elements, and the per-operation
+#: journal above it.  Snapshotting is a handful of ``memcpy`` calls and
+#: beats per-op recording until the arrays are large; the per-op journal
+#: costs O(touched) regardless of cluster size.
+_SNAPSHOT_ELEMENT_LIMIT = 65_536
+
+
+class _Frame:
+    """One open transaction: either an array snapshot or an undo journal.
+
+    Snapshot mode stores bitwise copies of the mutable arrays; rollback
+    is a few ``np.copyto`` calls, O(n + m·d) with memcpy constants.
+
+    Journal mode stores, for every shard / machine / blocked flag /
+    replica-host counter *first touched* inside the frame, its value at
+    ``begin()``; rollback restores exactly those values, O(touched·d).
+    Both modes restore the state bitwise — they record old values rather
+    than replaying inverse arithmetic (``(x + b) - b`` is not always
+    ``x`` in floating point).
+    """
+
+    __slots__ = (
+        "snapshot",
+        "assign",
+        "loads",
+        "counts",
+        "peak",
+        "peak_dirty",
+        "peak_any_dirty",
+        "blocked",
+        "shards",
+        "machines",
+        "blocked_old",
+        "replica_hosts",
+        "num_unassigned",
+        "num_vacant",
+        "conflicts",
+    )
+
+    def __init__(self, state: "ClusterState", snapshot: bool) -> None:
+        self.snapshot = snapshot
+        if snapshot:
+            self.assign = state._assign.copy()
+            self.loads = state._loads.copy()
+            self.counts = state._counts.copy()
+            self.peak = state._peak.copy()
+            self.peak_dirty = state._peak_dirty.copy()
+            self.peak_any_dirty = state._peak_any_dirty
+            self.blocked = state._blocked.copy()
+        else:
+            self.shards: dict[int, int] = {}
+            self.machines: dict[int, tuple[np.ndarray, int]] = {}
+            self.blocked_old: dict[int, bool] = {}
+        # Replica host counters are journaled per touched (group, machine)
+        # pair in both modes: they live in nested dicts whose full copy
+        # would be O(groups) even for a tiny transaction.
+        self.replica_hosts: dict[tuple[int, int], int] = {}
+        self.num_unassigned = state._num_unassigned
+        self.num_vacant = state._num_vacant
+        self.conflicts = state._replica_conflicts
 
 
 class ClusterState:
@@ -82,6 +157,7 @@ class ClusterState:
         self._demand = np.stack([sh.demand for sh in shards])  # (n, d)
         self._sizes = np.array([sh.size_bytes for sh in shards], dtype=np.float64)
         self._exchange_mask = np.array([mach.exchange for mach in machines], dtype=bool)
+        self._norm_demand: np.ndarray | None = None  # lazy, shared by copies
 
         n = len(shards)
         if assignment is None:
@@ -94,10 +170,6 @@ class ClusterState:
             if np.any(bad):
                 raise ValueError(f"assignment references unknown machines at shards {np.flatnonzero(bad)}")
             self._assign = arr.copy()
-        self._loads = np.zeros_like(self._capacity)
-        placed = self._assign != UNASSIGNED
-        if np.any(placed):
-            np.add.at(self._loads, self._assign[placed], self._demand[placed])
         self._blocked = np.zeros(len(machines), dtype=bool)
         self._offline = np.zeros(len(machines), dtype=bool)
         # Replica groups: logical shard id -> member shard ids (only for
@@ -112,6 +184,54 @@ class ClusterState:
         self._replica_groups = {
             g: np.asarray(members, dtype=np.int64) for g, members in groups.items()
         }
+        self._frame: _Frame | None = None
+        self._rebuild_caches()
+
+    # -------------------------------------------------------------- caches
+    def _rebuild_caches(self) -> None:
+        """Recompute every incrementally-maintained cache from scratch."""
+        m = len(self._machines)
+        self._loads = np.zeros_like(self._capacity)
+        placed = self._assign != UNASSIGNED
+        if np.any(placed):
+            np.add.at(self._loads, self._assign[placed], self._demand[placed])
+        self._counts = np.bincount(
+            self._assign[placed], minlength=m
+        ).astype(np.int64, copy=False)
+        self._num_unassigned = int(np.sum(~placed))
+        self._num_vacant = int(np.sum((self._counts == 0) & ~self._offline))
+        self._peak = (self._loads / self._capacity).max(axis=1)
+        self._peak_dirty = np.zeros(m, dtype=bool)
+        self._peak_any_dirty = False
+        # Replica host counters: group -> {machine -> member count}, and
+        # the number of (machine, group) pairs hosting > 1 member.
+        self._replica_hosts: dict[int, dict[int, int]] = {}
+        self._replica_conflicts = 0
+        for g, members in self._replica_groups.items():
+            hosts: dict[int, int] = {}
+            for j in members:
+                mach = int(self._assign[j])
+                if mach != UNASSIGNED:
+                    cnt = hosts.get(mach, 0) + 1
+                    hosts[mach] = cnt
+                    if cnt == 2:
+                        self._replica_conflicts += 1
+            self._replica_hosts[g] = hosts
+
+    def _refreshed_peaks(self) -> np.ndarray:
+        """The live per-machine peak-utilization cache, refreshed lazily.
+
+        Peak rows are marked dirty by mutations and recomputed here in
+        one vectorized pass — bitwise identical to a from-scratch
+        ``(loads / capacity).max(axis=1)`` because machine capacities are
+        validated strictly positive.  Do not mutate the returned array.
+        """
+        if self._peak_any_dirty:
+            idx = np.flatnonzero(self._peak_dirty)
+            self._peak[idx] = (self._loads[idx] / self._capacity[idx]).max(axis=1)
+            self._peak_dirty[idx] = False
+            self._peak_any_dirty = False
+        return self._peak
 
     # ---------------------------------------------------------------- sizes
     @property
@@ -174,19 +294,207 @@ class ClusterState:
         """The live assignment array — do not mutate."""
         return self._assign
 
+    def normalized_demand(self) -> np.ndarray:
+        """(n, d) demand scaled to [0, 1] per dimension (cached; demand is
+        immutable so the matrix is computed once and shared by copies)."""
+        if self._norm_demand is None:
+            self._norm_demand = self._demand / np.maximum(
+                self._demand.max(axis=0, keepdims=True), 1e-12
+            )
+        return self._norm_demand
+
+    # --------------------------------------------------------- transactions
+    def begin(self, mode: str = "auto") -> None:
+        """Open a transaction; every mutation until :meth:`commit` /
+        :meth:`rollback` is undoable.
+
+        Parameters
+        ----------
+        mode:
+            ``"snapshot"`` copies the mutable arrays up front (O(n + m·d)
+            memcpy — fastest for small/medium clusters), ``"journal"``
+            records old values per touched shard/machine (O(moves·d) —
+            wins on large clusters where the arrays dwarf the move set),
+            ``"auto"`` picks by size.
+
+        Transactions do not nest, and :meth:`apply_assignment`,
+        :meth:`set_offline`, and :meth:`copy` are forbidden while one is
+        open.
+        """
+        if self._frame is not None:
+            raise RuntimeError("transaction already open (nested begin())")
+        if mode == "auto":
+            snapshot = (
+                self.num_shards + self.num_machines * self.dims
+                <= _SNAPSHOT_ELEMENT_LIMIT
+            )
+        elif mode == "snapshot":
+            snapshot = True
+        elif mode == "journal":
+            snapshot = False
+        else:
+            raise ValueError(f"unknown journal mode {mode!r}")
+        self._frame = _Frame(self, snapshot)
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a :meth:`begin` frame is open."""
+        return self._frame is not None
+
+    def commit(self) -> None:
+        """Keep every mutation since :meth:`begin`; drop the journal."""
+        if self._frame is None:
+            raise RuntimeError("commit() without begin()")
+        self._frame = None
+
+    def rollback(self) -> None:
+        """Restore the state bitwise to its :meth:`begin` image."""
+        fr = self._frame
+        if fr is None:
+            raise RuntimeError("rollback() without begin()")
+        self._frame = None  # mutations below must not be re-journaled
+        if fr.snapshot:
+            np.copyto(self._assign, fr.assign)
+            np.copyto(self._loads, fr.loads)
+            np.copyto(self._counts, fr.counts)
+            np.copyto(self._peak, fr.peak)
+            np.copyto(self._peak_dirty, fr.peak_dirty)
+            self._peak_any_dirty = fr.peak_any_dirty
+            np.copyto(self._blocked, fr.blocked)
+        else:
+            for j, old in fr.shards.items():
+                self._assign[j] = old
+            for i, (row, count) in fr.machines.items():
+                self._loads[i] = row
+                self._counts[i] = count
+                self._peak_dirty[i] = True
+            if fr.machines:
+                self._peak_any_dirty = True
+            for i, old_blocked in fr.blocked_old.items():
+                self._blocked[i] = old_blocked
+        for (g, mach), cnt in fr.replica_hosts.items():
+            hosts = self._replica_hosts[g]
+            if cnt == 0:
+                hosts.pop(mach, None)
+            else:
+                hosts[mach] = cnt
+        self._num_unassigned = fr.num_unassigned
+        self._num_vacant = fr.num_vacant
+        self._replica_conflicts = fr.conflicts
+
+    def _journal_shard(self, fr: _Frame, shard_id: int, old: int) -> None:
+        if shard_id not in fr.shards:
+            fr.shards[shard_id] = old
+
+    def _journal_machine(self, fr: _Frame, machine_id: int) -> None:
+        if machine_id not in fr.machines:
+            fr.machines[machine_id] = (
+                self._loads[machine_id].copy(),
+                int(self._counts[machine_id]),
+            )
+
     # ------------------------------------------------------------ mutation
     def machine_of(self, shard_id: int) -> int:
         """Machine currently hosting *shard_id* (or :data:`UNASSIGNED`)."""
         return int(self._assign[shard_id])
+
+    def _host_leave(self, shard_id: int, machine_id: int) -> None:
+        """Replica bookkeeping for a member leaving *machine_id*."""
+        group = int(self._replica_of[shard_id])
+        if group < 0:
+            return
+        hosts = self._replica_hosts[group]
+        fr = self._frame
+        if fr is not None:
+            key = (group, machine_id)
+            if key not in fr.replica_hosts:
+                fr.replica_hosts[key] = hosts.get(machine_id, 0)
+        cnt = hosts[machine_id] - 1
+        if cnt:
+            hosts[machine_id] = cnt
+            if cnt == 1:
+                self._replica_conflicts -= 1
+        else:
+            del hosts[machine_id]
+
+    def _host_enter(self, shard_id: int, machine_id: int) -> None:
+        """Replica bookkeeping for a member landing on *machine_id*."""
+        group = int(self._replica_of[shard_id])
+        if group < 0:
+            return
+        hosts = self._replica_hosts[group]
+        fr = self._frame
+        if fr is not None:
+            key = (group, machine_id)
+            if key not in fr.replica_hosts:
+                fr.replica_hosts[key] = hosts.get(machine_id, 0)
+        cnt = hosts.get(machine_id, 0) + 1
+        hosts[machine_id] = cnt
+        if cnt == 2:
+            self._replica_conflicts += 1
 
     def unassign(self, shard_id: int) -> int:
         """Remove a shard from its machine; return the former machine id."""
         src = int(self._assign[shard_id])
         if src == UNASSIGNED:
             return UNASSIGNED
+        fr = self._frame
+        if fr is not None and not fr.snapshot:
+            self._journal_shard(fr, shard_id, src)
+            self._journal_machine(fr, src)
         self._loads[src] -= self._demand[shard_id]
         self._assign[shard_id] = UNASSIGNED
+        self._num_unassigned += 1
+        cnt = int(self._counts[src]) - 1
+        self._counts[src] = cnt
+        if cnt == 0 and not self._offline[src]:
+            self._num_vacant += 1
+        if not self._peak_dirty[src]:
+            self._peak_dirty[src] = True
+            self._peak_any_dirty = True
+        if self._replica_groups:
+            self._host_leave(shard_id, src)
         return src
+
+    def unassign_many(self, shard_ids: Sequence[int] | np.ndarray) -> None:
+        """Remove many shards at once (vectorized load/count updates).
+
+        Equivalent to calling :meth:`unassign` in sequence — including
+        bitwise-identical load arithmetic, since ``np.subtract.at``
+        applies the per-shard subtractions in the order given — but with
+        one NumPy dispatch instead of one per shard.
+        """
+        ids = np.asarray(shard_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        srcs = self._assign[ids]
+        placed = srcs != UNASSIGNED
+        if not np.all(placed):
+            ids = ids[placed]
+            srcs = srcs[placed]
+            if ids.size == 0:
+                return
+        if np.unique(ids).size != ids.size:
+            raise ValueError("unassign_many: duplicate shard ids")
+        fr = self._frame
+        if fr is not None and not fr.snapshot:
+            for j, s in zip(ids.tolist(), srcs.tolist()):
+                self._journal_shard(fr, j, s)
+            for i in np.unique(srcs).tolist():
+                self._journal_machine(fr, i)
+        np.subtract.at(self._loads, srcs, self._demand[ids])
+        self._assign[ids] = UNASSIGNED
+        self._num_unassigned += int(ids.size)
+        touched, per = np.unique(srcs, return_counts=True)
+        self._counts[touched] -= per
+        self._num_vacant += int(
+            np.sum((self._counts[touched] == 0) & ~self._offline[touched])
+        )
+        self._peak_dirty[touched] = True
+        self._peak_any_dirty = True
+        if self._replica_groups:
+            for j, s in zip(ids.tolist(), srcs.tolist()):
+                self._host_leave(int(j), int(s))
 
     def assign_shard(self, shard_id: int, machine_id: int) -> None:
         """Place an unassigned shard on *machine_id* (O(d)).
@@ -202,8 +510,22 @@ class ClusterState:
             raise ValueError(f"unknown machine {machine_id}")
         if self._blocked[machine_id]:
             raise ValueError(f"machine {machine_id} is blocked for placement")
+        fr = self._frame
+        if fr is not None and not fr.snapshot:
+            self._journal_shard(fr, shard_id, UNASSIGNED)
+            self._journal_machine(fr, machine_id)
         self._assign[shard_id] = machine_id
         self._loads[machine_id] += self._demand[shard_id]
+        self._num_unassigned -= 1
+        cnt = int(self._counts[machine_id]) + 1
+        self._counts[machine_id] = cnt
+        if cnt == 1 and not self._offline[machine_id]:
+            self._num_vacant -= 1
+        if not self._peak_dirty[machine_id]:
+            self._peak_dirty[machine_id] = True
+            self._peak_any_dirty = True
+        if self._replica_groups:
+            self._host_enter(shard_id, machine_id)
 
     def move(self, shard_id: int, dst: int) -> int:
         """Move a shard to machine *dst*; return its former machine (O(d))."""
@@ -213,6 +535,8 @@ class ClusterState:
 
     def apply_assignment(self, assignment: np.ndarray) -> None:
         """Replace the whole assignment (recomputes loads once, O(n·d))."""
+        if self._frame is not None:
+            raise RuntimeError("apply_assignment() inside an open transaction")
         arr = np.asarray(assignment, dtype=np.int64)
         if arr.shape != (self.num_shards,):
             raise ValueError(f"assignment must have shape ({self.num_shards},), got {arr.shape}")
@@ -220,10 +544,7 @@ class ClusterState:
         if np.any(bad):
             raise ValueError("assignment references unknown machines")
         self._assign = arr.copy()
-        self._loads.fill(0.0)
-        placed = self._assign != UNASSIGNED
-        if np.any(placed):
-            np.add.at(self._loads, self._assign[placed], self._demand[placed])
+        self._rebuild_caches()
 
     # -------------------------------------------------------------- queries
     def utilization(self) -> np.ndarray:
@@ -231,12 +552,16 @@ class ClusterState:
         return safe_ratio(self._loads, self._capacity)
 
     def machine_peak_utilization(self) -> np.ndarray:
-        """(m,) worst-dimension utilization per machine."""
-        return self.utilization().max(axis=1)
+        """(m,) worst-dimension utilization per machine (cached)."""
+        return self._refreshed_peaks().copy()
+
+    def machine_peak_utilization_view(self) -> np.ndarray:
+        """The live per-machine peak-utilization cache — do not mutate."""
+        return self._refreshed_peaks()
 
     def peak_utilization(self) -> float:
         """Cluster-wide peak utilization (the primary imbalance measure)."""
-        return float(self.machine_peak_utilization().max())
+        return float(self._refreshed_peaks().max())
 
     def headroom(self) -> np.ndarray:
         """(m, d) remaining capacity (may be negative when overloaded)."""
@@ -247,22 +572,29 @@ class ClusterState:
         return np.flatnonzero(self._assign == machine_id)
 
     def shard_counts(self) -> np.ndarray:
-        """(m,) number of shards per machine."""
-        return np.bincount(
-            self._assign[self._assign != UNASSIGNED], minlength=self.num_machines
-        )
+        """(m,) number of shards per machine (cached, O(m))."""
+        return self._counts.copy()
+
+    def shard_counts_view(self) -> np.ndarray:
+        """The live per-machine shard-count cache — do not mutate."""
+        return self._counts
 
     def vacant_machines(self) -> np.ndarray:
         """Ids of machines hosting no shard."""
-        return np.flatnonzero(self.shard_counts() == 0)
+        return np.flatnonzero(self._counts == 0)
+
+    @property
+    def num_vacant_in_service(self) -> int:
+        """Number of machines hosting no shard and not offline (cached)."""
+        return self._num_vacant
 
     def unassigned_shards(self) -> np.ndarray:
         """Ids of shards with no machine (transient during destroy/repair)."""
         return np.flatnonzero(self._assign == UNASSIGNED)
 
     def is_fully_assigned(self) -> bool:
-        """True when every shard has a machine."""
-        return bool(np.all(self._assign != UNASSIGNED))
+        """True when every shard has a machine (cached, O(1))."""
+        return self._num_unassigned == 0
 
     def is_within_capacity(self, *, atol: float = 1e-9) -> bool:
         """True when no machine exceeds capacity in any dimension."""
@@ -318,16 +650,21 @@ class ClusterState:
     def replica_conflicts(self) -> list[tuple[int, int]]:
         """(machine, logical shard) pairs hosting more than one replica."""
         out: list[tuple[int, int]] = []
-        for group, members in self._replica_groups.items():
-            hosts = self._assign[members]
-            hosts = hosts[hosts != UNASSIGNED]
-            uniq, counts = np.unique(hosts, return_counts=True)
-            out.extend((int(m), group) for m in uniq[counts > 1])
+        for group, hosts in self._replica_hosts.items():
+            out.extend(
+                (mach, group) for mach, cnt in sorted(hosts.items()) if cnt > 1
+            )
         return out
+
+    @property
+    def replica_conflict_count(self) -> int:
+        """Number of (machine, logical shard) anti-affinity violations
+        (cached; equals ``len(replica_conflicts())``)."""
+        return self._replica_conflicts
 
     def has_replica_conflicts(self) -> bool:
         """True when any machine hosts two replicas of one logical shard."""
-        return bool(self.replica_conflicts())
+        return self._replica_conflicts > 0
 
     # ------------------------------------------------------------- blocking
     @property
@@ -344,8 +681,11 @@ class ClusterState:
         """Forbid placements on *machine_id* (it must currently be vacant)."""
         if not 0 <= machine_id < self.num_machines:
             raise ValueError(f"unknown machine {machine_id}")
-        if np.any(self._assign == machine_id):
+        if self._counts[machine_id] > 0:
             raise ValueError(f"cannot block machine {machine_id}: it hosts shards")
+        fr = self._frame
+        if fr is not None and not fr.snapshot and machine_id not in fr.blocked_old:
+            fr.blocked_old[machine_id] = bool(self._blocked[machine_id])
         self._blocked[machine_id] = True
 
     def unblock_machine(self, machine_id: int) -> None:
@@ -355,6 +695,9 @@ class ClusterState:
             raise ValueError(f"unknown machine {machine_id}")
         if self._offline[machine_id]:
             raise ValueError(f"machine {machine_id} is offline and cannot be unblocked")
+        fr = self._frame
+        if fr is not None and not fr.snapshot and machine_id not in fr.blocked_old:
+            fr.blocked_old[machine_id] = bool(self._blocked[machine_id])
         self._blocked[machine_id] = False
 
     @property
@@ -370,19 +713,27 @@ class ClusterState:
 
     def set_offline(self, machine_id: int) -> None:
         """Mark a (vacant) machine as permanently out of service."""
+        if self._frame is not None:
+            raise RuntimeError("set_offline() inside an open transaction")
         if not 0 <= machine_id < self.num_machines:
             raise ValueError(f"unknown machine {machine_id}")
-        if np.any(self._assign == machine_id):
+        if self._counts[machine_id] > 0:
             raise ValueError(
                 f"cannot take machine {machine_id} offline: it hosts shards "
                 "(unassign them first)"
             )
+        if not self._offline[machine_id]:
+            # The machine is vacant by the check above, so it leaves the
+            # vacant-in-service pool.
+            self._num_vacant -= 1
         self._offline[machine_id] = True
         self._blocked[machine_id] = True
 
     # ---------------------------------------------------------------- copy
     def copy(self) -> "ClusterState":
         """Structural copy: shares machine/shard descriptions, copies state."""
+        if self._frame is not None:
+            raise RuntimeError("copy() inside an open transaction")
         dup = object.__new__(ClusterState)
         dup._schema = self._schema
         dup._machines = self._machines
@@ -391,12 +742,24 @@ class ClusterState:
         dup._demand = self._demand
         dup._sizes = self._sizes
         dup._exchange_mask = self._exchange_mask
+        dup._norm_demand = self._norm_demand
         dup._assign = self._assign.copy()
         dup._loads = self._loads.copy()
         dup._blocked = self._blocked.copy()
         dup._offline = self._offline.copy()
         dup._replica_of = self._replica_of
         dup._replica_groups = self._replica_groups
+        dup._counts = self._counts.copy()
+        dup._num_unassigned = self._num_unassigned
+        dup._num_vacant = self._num_vacant
+        dup._peak = self._peak.copy()
+        dup._peak_dirty = self._peak_dirty.copy()
+        dup._peak_any_dirty = self._peak_any_dirty
+        dup._replica_hosts = {
+            g: hosts.copy() for g, hosts in self._replica_hosts.items()
+        }
+        dup._replica_conflicts = self._replica_conflicts
+        dup._frame = None
         return dup
 
     def with_extra_machines(self, extra: Iterable[Machine]) -> "ClusterState":
@@ -415,9 +778,10 @@ class ClusterState:
         """Audit every internal invariant; raise ``ValueError`` on breach.
 
         Used by tests (and available to users debugging custom state
-        manipulations).  Checks: loads match the assignment exactly,
-        blocked machines host nothing, offline implies blocked, and the
-        replica-group tables agree with the shard descriptions.
+        manipulations).  Checks: loads and every incremental cache match
+        the assignment exactly, blocked machines host nothing, offline
+        implies blocked, and the replica-group tables agree with the
+        shard descriptions.
         """
         recomputed = np.zeros_like(self._loads)
         placed = self._assign != UNASSIGNED
@@ -425,16 +789,36 @@ class ClusterState:
             np.add.at(recomputed, self._assign[placed], self._demand[placed])
         if not np.allclose(self._loads, recomputed, atol=1e-6):
             raise ValueError("loads diverged from the assignment")
-        counts = self.shard_counts()
+        counts = np.bincount(self._assign[placed], minlength=self.num_machines)
+        if not np.array_equal(self._counts, counts):
+            raise ValueError("shard-count cache diverged from the assignment")
+        if self._num_unassigned != int(np.sum(~placed)):
+            raise ValueError("unassigned-count cache diverged from the assignment")
+        if self._num_vacant != int(np.sum((counts == 0) & ~self._offline)):
+            raise ValueError("vacant-count cache diverged from the assignment")
+        peaks = (self._loads / self._capacity).max(axis=1)
+        live = ~self._peak_dirty
+        if not np.allclose(self._peak[live], peaks[live], atol=1e-9):
+            raise ValueError("peak-utilization cache diverged from the loads")
         bad = np.flatnonzero(self._blocked & (counts > 0))
         if bad.size:
             raise ValueError(f"blocked machines host shards: {bad.tolist()}")
         if np.any(self._offline & ~self._blocked):
             raise ValueError("offline machines must be blocked")
+        conflicts = 0
         for group, members in self._replica_groups.items():
             for j in members:
                 if self._shards[int(j)].replica_of != group:
                     raise ValueError(f"replica table inconsistent at shard {j}")
+            hosts = self._assign[members]
+            hosts = hosts[hosts != UNASSIGNED]
+            uniq, cnt = np.unique(hosts, return_counts=True)
+            expected = {int(mach): int(c) for mach, c in zip(uniq, cnt)}
+            if expected != self._replica_hosts.get(group, {}):
+                raise ValueError(f"replica host cache diverged for group {group}")
+            conflicts += int(np.sum(cnt > 1))
+        if conflicts != self._replica_conflicts:
+            raise ValueError("replica conflict counter diverged")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
