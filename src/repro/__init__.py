@@ -11,9 +11,11 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.engine`     — inverted-index search engine substrate
 * :mod:`repro.simulate`   — query-serving discrete-event simulation
 * :mod:`repro.metrics`    — balance and migration metrics
+* :mod:`repro.obs`        — episode observability (tracing + metrics)
 * :mod:`repro.core`       — the one-call public facade
 """
 
+from repro import obs
 from repro.algorithms import (
     GreedyRebalancer,
     LocalSearchRebalancer,
@@ -42,5 +44,6 @@ __all__ = [
     "RandomRestartRebalancer",
     "ResourceExchangeRebalancer",
     "RebalanceReport",
+    "obs",
     "__version__",
 ]

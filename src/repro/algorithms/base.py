@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.cluster import ClusterState, ExchangeLedger, ExchangeSettlement, ExchangeViolation
 from repro.migration import PlanResult, StagingPlanner
 
@@ -104,17 +105,30 @@ def finalize_result(
     Used by every concrete rebalancer so feasibility is judged by one code
     path.
     """
+    tracer = obs.current().tracer
     final = state.copy()
     final.apply_assignment(target)
-    plan = planner.plan(state, target)
+    with tracer.span("migration.plan", algorithm=algorithm) as plan_span:
+        plan = planner.plan(state, target)
+        plan_span.set("feasible", plan.feasible)
+        plan_span.set("direct_feasible", plan.direct_feasible)
+        plan_span.set("staged_shards", len(plan.staged_shards))
+        plan_span.set("waves", plan.schedule.num_waves)
+        plan_span.set("moves", plan.schedule.num_moves)
 
     settlement = None
     contract_ok = True
     if ledger is not None:
-        try:
-            settlement = ledger.settle(final)
-        except ExchangeViolation:
-            contract_ok = False
+        with tracer.span("exchange.settle") as settle_span:
+            try:
+                settlement = ledger.settle(final)
+                settle_span.set("returned", len(settlement.returned_ids))
+                settle_span.set(
+                    "exchanged", len(settlement.retained_borrowed_ids)
+                )
+            except ExchangeViolation as exc:
+                contract_ok = False
+                settle_span.set("violation", str(exc))
 
     feasible = (
         bool(final.is_within_capacity())

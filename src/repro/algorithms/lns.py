@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro._validation import check_fraction, check_positive
 from repro.cluster import ClusterState
 from repro.algorithms.destroy import DestroyOperator
@@ -158,6 +159,9 @@ class AlnsEngine:
             (False when e.g. the vacancy contract is not yet satisfied).
         """
         cfg = self.config
+        tracer = obs.current().tracer
+        metrics = obs.current().metrics
+        trace_on = tracer.enabled
         rng = np.random.default_rng(cfg.seed)
         current = state.copy()
         cur_obj = float(objective(current))
@@ -186,6 +190,87 @@ class AlnsEngine:
         started = time.perf_counter()
         it = 0
         use_delta = cfg.delta_evaluation
+
+        run_span = tracer.span(
+            "alns.run",
+            iterations=cfg.iterations,
+            seed=cfg.seed,
+            initial_objective=cur_obj,
+        )
+        run_span.__enter__()
+        try:
+            it, accepted, vetoed, best_assignment, best_obj, cur_obj = self._search(
+                cfg, rng, current, objective, best_filter,
+                best_assignment, best_obj, cur_obj, temperature,
+                q_min, q_max, d_weights, r_weights, d_scores, r_scores,
+                d_uses, r_uses, history, started, use_delta,
+                tracer, trace_on,
+            )
+        finally:
+            run_span.set("iterations_run", it)
+            run_span.set("accepted", accepted)
+            run_span.set("rejected_by_filter", vetoed)
+            if math.isfinite(best_obj):
+                run_span.set("best_objective", best_obj)
+            run_span.__exit__(None, None, None)
+
+        metrics.counter("alns.iterations").inc(it)
+        metrics.counter("alns.accepted").inc(accepted)
+        metrics.counter("alns.rejected_by_filter").inc(vetoed)
+        if math.isfinite(best_obj):
+            metrics.gauge("alns.best_objective").set(best_obj)
+
+        weights = {
+            f"destroy:{op.__name__}": float(w)
+            for op, w in zip(self.destroy_ops, d_weights)
+        }
+        weights.update(
+            {f"repair:{op.__name__}": float(w) for op, w in zip(self.repair_ops, r_weights)}
+        )
+        return AlnsOutcome(
+            best_assignment=best_assignment,
+            best_objective=best_obj,
+            iterations=it,
+            history=history,
+            operator_weights=weights,
+            accepted=accepted,
+            rejected_by_filter=vetoed,
+        )
+
+    def _search(
+        self,
+        cfg: AlnsConfig,
+        rng: np.random.Generator,
+        current: ClusterState,
+        objective: Callable[[ClusterState], float],
+        best_filter: Callable[[ClusterState], bool] | None,
+        best_assignment: np.ndarray | None,
+        best_obj: float,
+        cur_obj: float,
+        temperature: float,
+        q_min: int,
+        q_max: int,
+        d_weights: np.ndarray,
+        r_weights: np.ndarray,
+        d_scores: np.ndarray,
+        r_scores: np.ndarray,
+        d_uses: np.ndarray,
+        r_uses: np.ndarray,
+        history: list[float],
+        started: float,
+        use_delta: bool,
+        tracer,
+        trace_on: bool,
+    ) -> tuple[int, int, int, np.ndarray | None, float, float]:
+        """The inner loop of :meth:`run` (split out so the run span wraps it).
+
+        Mutates the weight/score arrays and *history* in place; RNG
+        consumption is identical with tracing on or off (the trajectory
+        bitwise-identity contract of docs/ARCHITECTURE.md).
+        """
+        accepted = 0
+        vetoed = 0
+        it = 0
 
         for it in range(1, cfg.iterations + 1):
             if cfg.time_limit is not None and time.perf_counter() - started > cfg.time_limit:
@@ -216,13 +301,17 @@ class AlnsEngine:
                 cand_obj = float(objective(candidate))
 
             score = 0.0
+            new_best = False
+            was_vetoed = False
             if cand_obj < best_obj - 1e-12:
                 if best_filter is None or best_filter(candidate):
                     best_assignment = candidate.assignment
                     best_obj = cand_obj
                     score = cfg.score_best
+                    new_best = True
                 else:
                     vetoed += 1
+                    was_vetoed = True
             if score == 0.0 and cand_obj < cur_obj - 1e-12:
                 score = cfg.score_improve
 
@@ -243,34 +332,47 @@ class AlnsEngine:
             d_scores[di] += score
             r_scores[ri] += score
 
+            if trace_on:
+                tracer.event(
+                    "alns.iter",
+                    it=it,
+                    destroy=self.destroy_ops[di].__name__,
+                    repair=self.repair_ops[ri].__name__,
+                    q=q,
+                    objective=cand_obj,
+                    current=cur_obj,
+                    accepted=accept,
+                    new_best=new_best,
+                    vetoed=was_vetoed,
+                )
+
             temperature *= cfg.cooling
             if cfg.collect_history:
                 history.append(cur_obj)
 
             if it % cfg.segment_length == 0:
-                d_weights = _update_weights(d_weights, d_scores, d_uses, cfg.reaction)
-                r_weights = _update_weights(r_weights, r_scores, r_uses, cfg.reaction)
+                # In-place so the caller's view of the weights stays live.
+                d_weights[:] = _update_weights(d_weights, d_scores, d_uses, cfg.reaction)
+                r_weights[:] = _update_weights(r_weights, r_scores, r_uses, cfg.reaction)
                 d_scores[:] = 0
                 r_scores[:] = 0
                 d_uses[:] = 0
                 r_uses[:] = 0
+                if trace_on:
+                    tracer.event(
+                        "alns.weights",
+                        it=it,
+                        destroy={
+                            op.__name__: float(w)
+                            for op, w in zip(self.destroy_ops, d_weights)
+                        },
+                        repair={
+                            op.__name__: float(w)
+                            for op, w in zip(self.repair_ops, r_weights)
+                        },
+                    )
 
-        weights = {
-            f"destroy:{op.__name__}": float(w)
-            for op, w in zip(self.destroy_ops, d_weights)
-        }
-        weights.update(
-            {f"repair:{op.__name__}": float(w) for op, w in zip(self.repair_ops, r_weights)}
-        )
-        return AlnsOutcome(
-            best_assignment=best_assignment,
-            best_objective=best_obj,
-            iterations=it,
-            history=history,
-            operator_weights=weights,
-            accepted=accepted,
-            rejected_by_filter=vetoed,
-        )
+        return it, accepted, vetoed, best_assignment, best_obj, cur_obj
 
 
 def _roulette(rng: np.random.Generator, weights: np.ndarray) -> int:

@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.cluster import ClusterState, ExchangeLedger
 from repro.algorithms.baselines import LocalSearchRebalancer
 from repro.migration import StagingPlanner, WaveScheduler, diff_moves
@@ -104,12 +105,16 @@ class SRA(Rebalancer):
         initial_valid = objective.is_feasible(work) and (
             ledger is None or ledger.is_satisfiable(work)
         )
-        outcome = engine.run(
-            work,
-            IncrementalObjective(objective, cross_check=cfg.debug_cross_check),
-            best_filter=best_filter,
-            initial_is_valid_best=initial_valid,
-        )
+        tracer = obs.current().tracer
+        with tracer.span(
+            "sra.search", required_returns=required, seed=cfg.alns.seed
+        ):
+            outcome = engine.run(
+                work,
+                IncrementalObjective(objective, cross_check=cfg.debug_cross_check),
+                best_filter=best_filter,
+                initial_is_valid_best=initial_valid,
+            )
 
         target = (
             outcome.best_assignment
@@ -117,11 +122,14 @@ class SRA(Rebalancer):
             else state.assignment
         )
         if outcome.best_assignment is not None and cfg.polish:
-            polished = self._polish(state, outcome.best_assignment, ledger, required)
-            if objective(polished) < outcome.best_objective - 1e-12 and best_filter(
-                polished
-            ):
-                target = polished.assignment
+            with tracer.span("sra.polish", steps=cfg.polish_steps) as polish_span:
+                polished = self._polish(state, outcome.best_assignment, ledger, required)
+                kept = objective(polished) < outcome.best_objective - 1e-12 and (
+                    best_filter(polished)
+                )
+                polish_span.set("kept", kept)
+                if kept:
+                    target = polished.assignment
         result = finalize_result(
             self.name,
             state,

@@ -4,9 +4,12 @@
 
 * ``generate``   — write an instance snapshot (JSON) from a generator;
 * ``info``       — print a snapshot's balance metrics;
-* ``rebalance``  — rebalance a snapshot with SRA or a baseline, print
-  the episode report, optionally write the resulting snapshot;
-* ``experiment`` — regenerate one of the experiment tables (E1–E13).
+* ``run`` / ``rebalance`` — rebalance a snapshot with SRA or a baseline,
+  print the episode report, optionally write the resulting snapshot and
+  the observability artifacts (``--trace out.jsonl``, ``--metrics
+  out.json`` — see docs/ARCHITECTURE.md, "Observability");
+* ``experiment`` — regenerate one of the experiment tables (E1–E20),
+  with the same artifact flags.
 
 Every command is a thin shell over the library API, so anything the CLI
 does is equally scriptable in Python.
@@ -18,6 +21,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.algorithms import (
     AlnsConfig,
     GreedyRebalancer,
@@ -66,26 +70,67 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print a snapshot's balance metrics")
     info.add_argument("snapshot", help="snapshot path (JSON)")
 
-    reb = sub.add_parser("rebalance", help="rebalance a snapshot")
-    reb.add_argument("snapshot", help="snapshot path (JSON)")
-    reb.add_argument("--algorithm", choices=("sra", "local-search", "greedy",
-                                             "random-restart", "noop"),
-                     default="sra")
-    reb.add_argument("--exchange", type=int, default=0,
-                     help="number of machines to borrow (B)")
-    reb.add_argument("--returns", type=int, default=None,
-                     help="vacant machines to return (R); defaults to B")
-    reb.add_argument("--iterations", type=int, default=2000,
-                     help="SRA search iterations")
-    reb.add_argument("--seed", type=int, default=0)
-    reb.add_argument("--out", default=None,
-                     help="write the rebalanced snapshot here")
+    for name, help_text in (
+        ("run", "run a full rebalancing episode on a snapshot"),
+        ("rebalance", "alias of `run`"),
+    ):
+        reb = sub.add_parser(name, help=help_text)
+        reb.add_argument("snapshot", help="snapshot path (JSON)")
+        reb.add_argument("--algorithm", choices=("sra", "local-search", "greedy",
+                                                 "random-restart", "noop"),
+                         default="sra")
+        reb.add_argument("--exchange", type=int, default=0,
+                         help="number of machines to borrow (B)")
+        reb.add_argument("--returns", type=int, default=None,
+                         help="vacant machines to return (R); defaults to B")
+        reb.add_argument("--iterations", type=int, default=2000,
+                         help="SRA search iterations")
+        reb.add_argument("--seed", type=int, default=0)
+        reb.add_argument("--out", default=None,
+                         help="write the rebalanced snapshot here")
+        _add_obs_arguments(reb)
 
     exp = sub.add_parser("experiment", help="regenerate an experiment table")
     exp.add_argument("id", help="experiment id, e.g. e3")
     exp.add_argument("--full", action="store_true",
                      help="full scale instead of the fast CI scale")
+    _add_obs_arguments(exp)
     return parser
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL span/event trace of the run")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the run's metrics registry as JSON")
+
+
+class _ObsSession:
+    """Activate observability for a command when artifacts were requested."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_path = getattr(args, "metrics", None)
+        self._previous: obs.Obs | None = None
+        self.bundle = obs.NULL_OBS
+
+    def __enter__(self) -> "_ObsSession":
+        if self.trace_path or self.metrics_path:
+            self.bundle = obs.Obs(obs.Tracer(), obs.MetricsRegistry())
+            self._previous = obs.activate(self.bundle)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._previous is not None:
+            obs.deactivate(self._previous)
+            if exc is None:
+                if self.trace_path:
+                    self.bundle.tracer.export_jsonl(self.trace_path)
+                    print(f"wrote trace -> {self.trace_path}")
+                if self.metrics_path:
+                    self.bundle.metrics.export_json(self.metrics_path)
+                    print(f"wrote metrics -> {self.metrics_path}")
+        return False
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -166,7 +211,8 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
         exchange_machines=args.exchange,
         required_returns=args.returns,
     )
-    report = rebalancer.run(state)
+    with _ObsSession(args):
+        report = rebalancer.run(state)
     print(report.format_table())
     if not report.feasible:
         print("\nWARNING: no feasible rebalancing found", file=sys.stderr)
@@ -194,7 +240,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    rows = REGISTRY[key](fast=not args.full)
+    with _ObsSession(args):
+        rows = REGISTRY[key](fast=not args.full)
     print_table(rows, title=f"experiment {key}")
     return 0
 
@@ -206,7 +253,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "info":
         return _cmd_info(args)
-    if args.command == "rebalance":
+    if args.command in ("run", "rebalance"):
         return _cmd_rebalance(args)
     if args.command == "experiment":
         return _cmd_experiment(args)

@@ -15,12 +15,14 @@ migration, settle the vacancy-return contract, and package metrics.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.algorithms import Rebalancer, SRA, SRAConfig
 from repro.cluster import ClusterState, ExchangeLedger
 from repro.cluster.exchange import ReturnPolicy
 from repro.core.report import RebalanceReport
 from repro.metrics import imbalance_report, summarize_plan
 from repro.migration import BandwidthModel
+from repro.obs.metrics import UTILIZATION_EDGES
 from repro.workloads import make_exchange_machines
 
 __all__ = ["ResourceExchangeRebalancer"]
@@ -72,31 +74,70 @@ class ResourceExchangeRebalancer:
         self.bandwidth = bandwidth or BandwidthModel()
 
     def run(self, state: ClusterState) -> RebalanceReport:
-        """Execute one full rebalancing episode on *state* (not mutated)."""
-        loaners = make_exchange_machines(
-            state, self.exchange_machines, capacity_scale=self.exchange_capacity_scale
-        )
-        grown, ledger = ExchangeLedger.borrow(
-            state,
-            loaners,
-            required_returns=self.required_returns,
-            policy=self.return_policy,
-        )
-        result = self.algorithm.rebalance(grown, ledger)
+        """Execute one full rebalancing episode on *state* (not mutated).
 
-        final = grown.copy()
-        final.apply_assignment(result.target_assignment)
-        before = imbalance_report(grown)
-        after = imbalance_report(final)
-        migration = summarize_plan(result.plan, grown.num_machines, self.bandwidth)
-        exchanged = (
-            len(result.settlement.retained_borrowed_ids)
-            if result.settlement is not None
-            else 0
-        )
-        returned = (
-            len(result.settlement.returned_ids) if result.settlement is not None else 0
-        )
+        When an observability bundle is active (``repro.obs``), the
+        episode is traced phase by phase — borrow, search (algorithm
+        internals included), evaluate — and the returned report carries
+        the trace records and the metrics snapshot as attachments.
+        """
+        o = obs.current()
+        with o.tracer.span(
+            "episode",
+            algorithm=self.algorithm.name,
+            machines=state.num_machines,
+            shards=state.num_shards,
+            exchange_machines=self.exchange_machines,
+            required_returns=self.required_returns,
+        ) as episode:
+            with o.tracer.span("exchange.borrow", requested=self.exchange_machines):
+                loaners = make_exchange_machines(
+                    state,
+                    self.exchange_machines,
+                    capacity_scale=self.exchange_capacity_scale,
+                )
+                grown, ledger = ExchangeLedger.borrow(
+                    state,
+                    loaners,
+                    required_returns=self.required_returns,
+                    policy=self.return_policy,
+                )
+            with o.tracer.span("search", algorithm=self.algorithm.name):
+                result = self.algorithm.rebalance(grown, ledger)
+
+            with o.tracer.span("evaluate"):
+                final = grown.copy()
+                final.apply_assignment(result.target_assignment)
+                before = imbalance_report(grown)
+                after = imbalance_report(final)
+                migration = summarize_plan(
+                    result.plan, grown.num_machines, self.bandwidth
+                )
+            exchanged = (
+                len(result.settlement.retained_borrowed_ids)
+                if result.settlement is not None
+                else 0
+            )
+            returned = (
+                len(result.settlement.returned_ids)
+                if result.settlement is not None
+                else 0
+            )
+            episode.set("feasible", result.feasible)
+            episode.set("peak_before", before.peak_utilization)
+            episode.set("peak_after", after.peak_utilization)
+
+        if o.metrics.enabled:
+            m = o.metrics
+            m.counter("episode.runs").inc()
+            m.counter("episode.moves").inc(migration.num_moves)
+            m.counter("episode.bytes_moved").inc(migration.total_bytes)
+            m.gauge("episode.peak_before").set(before.peak_utilization)
+            m.gauge("episode.peak_after").set(after.peak_utilization)
+            m.gauge("episode.makespan_seconds").set(migration.makespan_seconds)
+            m.histogram("episode.machine_utilization", UTILIZATION_EDGES).observe_many(
+                final.machine_peak_utilization().tolist()
+            )
         return RebalanceReport(
             result=result,
             before=before,
@@ -105,4 +146,6 @@ class ResourceExchangeRebalancer:
             borrowed=len(loaners),
             returned=returned,
             exchanged=exchanged,
+            trace=o.tracer.records() if o.tracer.enabled else None,
+            metrics=o.metrics.to_dict() if o.metrics.enabled else None,
         )

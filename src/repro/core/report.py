@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -30,6 +32,11 @@ class RebalanceReport:
         Number of borrowed machines *retained* in service (an equal
         number of drained in-service machines was returned instead) —
         the headline number of the resource-exchange idea.
+    trace / metrics:
+        Machine-readable run artifacts — the episode's trace records
+        (``repro.obs.Tracer.records()`` format) and metrics snapshot
+        (``MetricsRegistry.to_dict()`` format).  None unless an
+        observability bundle was active during the episode.
     """
 
     result: RebalanceResult
@@ -39,10 +46,28 @@ class RebalanceReport:
     borrowed: int
     returned: int
     exchanged: int
+    trace: list[dict[str, Any]] | None = None
+    metrics: dict[str, Any] | None = None
 
     @property
     def feasible(self) -> bool:
         return self.result.feasible
+
+    def save_trace_jsonl(self, path) -> None:
+        """Persist the trace attachment as JSONL (requires a traced run)."""
+        if self.trace is None:
+            raise ValueError("report has no trace; run under repro.obs.observed()")
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.trace:
+                fh.write(json.dumps(rec, default=str) + "\n")
+
+    def save_metrics_json(self, path) -> None:
+        """Persist the metrics attachment as JSON (requires a metered run)."""
+        if self.metrics is None:
+            raise ValueError("report has no metrics; run under repro.obs.observed()")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
     @property
     def peak_improvement(self) -> float:

@@ -141,7 +141,7 @@ def generate_queries(
     lo, hi = terms_per_query
     if not 1 <= lo <= hi:
         raise ValueError(f"terms_per_query must satisfy 1 <= lo <= hi, got {terms_per_query}")
-    rng = np.random.default_rng(cfg.seed + 104729 if seed is None else seed)
+    rng = np.random.default_rng((cfg.seed + 104729) if seed is None else seed)
     probs = _term_probs(cfg.vocab_size, popularity_alpha)
     queries: list[Query] = []
     for _ in range(num_queries):

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.cluster import ClusterState
 from repro.migration.moves import Move
 
@@ -100,8 +101,12 @@ class WaveScheduler:
         if self.prefer_large_first:
             pending.sort(key=lambda mv: -mv.bytes)
         schedule = Schedule()
-        peak = float(np.max(loads / capacity)) if pending else 0.0
+        # The transient peak of an empty move list is the fleet's current
+        # peak, not 0.0 — "no migration" still leaves machines loaded.
+        peak = float(np.max(loads / capacity)) if loads.size else 0.0
         has_replicas = bool(state.replica_groups)
+        tracer = obs.current().tracer
+        trace_on = tracer.enabled
 
         while pending:
             wave: list[Move] = []
@@ -135,6 +140,14 @@ class WaveScheduler:
                 loads[mv.dst] += demand[mv.shard_id]
                 location[mv.shard_id] = mv.dst
             schedule.waves.append(wave)
+            if trace_on:
+                tracer.event(
+                    "migration.wave",
+                    wave=len(schedule.waves) - 1,
+                    moves=len(wave),
+                    bytes=float(sum(mv.bytes for mv in wave)),
+                    transient_peak=peak,
+                )
             done = {id(mv) for mv in wave}
             pending = [mv for mv in pending if id(mv) not in done]
 

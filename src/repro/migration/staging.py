@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from repro import obs
 from repro.cluster import ClusterState
 from repro.migration.moves import Move, diff_moves
 from repro.migration.scheduler import Schedule, WaveScheduler
@@ -115,16 +116,29 @@ class StagingPlanner:
         moves = diff_moves(state, target_assignment)
         direct = self.scheduler.schedule(state, moves)
         if direct.feasible:
+            self._publish(direct)
             return PlanResult(schedule=direct, direct_feasible=True)
 
         staged_schedule, staged_shards = self._stage(state, moves)
         if staged_schedule is None:
+            self._publish(direct)
             return PlanResult(schedule=direct, direct_feasible=False)
+        self._publish(staged_schedule)
         return PlanResult(
             schedule=staged_schedule,
             staged_shards=tuple(sorted(staged_shards)),
             direct_feasible=False,
         )
+
+    @staticmethod
+    def _publish(schedule: Schedule) -> None:
+        """Expose the executed schedule's transient peak to the registry."""
+        metrics = obs.current().metrics
+        if metrics.enabled:
+            metrics.gauge("migration.peak_transient_utilization").set(
+                schedule.peak_transient_utilization
+            )
+            metrics.counter("migration.plans").inc()
 
     # ------------------------------------------------------------- internal
     def _stage(
@@ -149,6 +163,8 @@ class StagingPlanner:
         peak = float(np.max(loads / capacity))
         pending: list[Move] = sorted(moves, key=lambda mv: -mv.bytes)
         exchange_mask = state.exchange_mask
+        tracer = obs.current().tracer
+        trace_on = tracer.enabled
 
         guard = 0
         while pending:
@@ -180,6 +196,15 @@ class StagingPlanner:
                 done = {id(mv) for mv in wave}
                 pending = [mv for mv in pending if id(mv) not in done]
                 schedule.waves.append(wave)
+                if trace_on:
+                    tracer.event(
+                        "migration.wave",
+                        wave=len(schedule.waves) - 1,
+                        moves=len(wave),
+                        bytes=float(sum(m.bytes for m in wave)),
+                        transient_peak=peak,
+                        staged=True,
+                    )
                 progressed = True
                 continue
 
@@ -217,6 +242,14 @@ class StagingPlanner:
                 pending[k : k + 1] = [hop1, hop2]
                 hops_used[mv.shard_id] = hops_used.get(mv.shard_id, 0) + 1
                 staged_shards.add(mv.shard_id)
+                if trace_on:
+                    tracer.event(
+                        "migration.staging_hop",
+                        shard=int(mv.shard_id),
+                        via=int(host),
+                        src=int(mv.src),
+                        dst=int(mv.dst),
+                    )
                 progressed = True
                 break
             if not progressed:

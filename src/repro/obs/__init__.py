@@ -1,0 +1,64 @@
+"""repro.obs — zero-dependency episode observability.
+
+Two first-class primitives (see docs/ARCHITECTURE.md, "Observability"):
+
+* :class:`Tracer` — structured spans (nestable, wall-clock, counters)
+  and events, exportable as JSONL;
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms, exportable as one JSON document.
+
+Both default to disabled no-op singletons; library code reads the
+ambient bundle via :func:`current` and pays nothing until a caller
+activates a real one (``with obs.observed() as o: ...`` or the CLI's
+``--trace`` / ``--metrics`` flags).
+"""
+
+from repro.obs.context import (
+    NULL_OBS,
+    Obs,
+    activate,
+    current,
+    deactivate,
+    observed,
+)
+from repro.obs.metrics import (
+    LATENCY_EDGES_S,
+    NULL_REGISTRY,
+    UTILIZATION_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    iter_spans,
+    read_jsonl,
+)
+
+__all__ = [
+    "Obs",
+    "NULL_OBS",
+    "current",
+    "activate",
+    "deactivate",
+    "observed",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "read_jsonl",
+    "iter_spans",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_EDGES_S",
+    "UTILIZATION_EDGES",
+]

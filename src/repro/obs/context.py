@@ -1,0 +1,85 @@
+"""Ambient observability context.
+
+Instrumented library code never takes a tracer parameter; it asks for
+the process-wide active :class:`Obs` bundle via :func:`current`.  By
+default that bundle is :data:`NULL_OBS` (disabled tracer + disabled
+registry), so observability costs one attribute read per instrumented
+call site until someone activates a real bundle:
+
+    from repro import obs
+
+    with obs.observed() as o:            # tracer + metrics for this block
+        report = ResourceExchangeRebalancer(...).run(state)
+    o.tracer.export_jsonl("trace.jsonl")
+    o.metrics.export_json("metrics.json")
+
+``observed()`` restores the previous bundle on exit (re-entrant: nested
+blocks stack).  :func:`activate` / :func:`deactivate` are the low-level
+non-context API used by the CLI.
+
+The context is deliberately a module global, not a thread/contextvar:
+every episode in this library is single-threaded, and a global keeps
+the disabled-path cost at a dict-free attribute read.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["Obs", "NULL_OBS", "current", "activate", "deactivate", "observed"]
+
+
+@dataclass(frozen=True)
+class Obs:
+    """A tracer + metrics registry travelling together."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: The disabled bundle handed out when nothing was activated.
+NULL_OBS = Obs(NULL_TRACER, NULL_REGISTRY)
+
+_active: Obs = NULL_OBS
+
+
+def current() -> Obs:
+    """The active observability bundle (``NULL_OBS`` unless activated)."""
+    return _active
+
+
+def activate(obs: Obs) -> Obs:
+    """Install *obs* as the ambient bundle; returns the previous one."""
+    global _active
+    previous = _active
+    _active = obs
+    return previous
+
+
+def deactivate(previous: Obs = NULL_OBS) -> None:
+    """Restore *previous* (default: disable observability)."""
+    global _active
+    _active = previous
+
+
+@contextmanager
+def observed(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> Iterator[Obs]:
+    """Activate a (fresh by default) bundle for the duration of the block."""
+    obs = Obs(tracer if tracer is not None else Tracer(),
+              metrics if metrics is not None else MetricsRegistry())
+    previous = activate(obs)
+    try:
+        yield obs
+    finally:
+        deactivate(previous)

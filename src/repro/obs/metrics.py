@@ -1,0 +1,246 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the *quantitative* half of :mod:`repro.obs` (the tracer
+is the *structural* half).  Instrumented code asks the registry for a
+named instrument and updates it; the registry exports everything as one
+JSON document (:meth:`MetricsRegistry.to_dict` / ``export_json``) so a
+run's measured quantities — peak utilizations, latency distributions,
+migration costs — survive as machine-readable artifacts instead of
+being recomputed ad hoc by every caller.
+
+Histograms use **fixed bucket edges** declared at creation: a value
+``v`` lands in bucket ``i`` with ``edges[i-1] < v <= edges[i]`` (the
+last bucket is the overflow ``> edges[-1]``).  Fixed edges make
+histograms from different runs mergeable and diffable — the property
+that makes regression gates on latency shape possible.  Two standard
+edge sets are provided: :data:`LATENCY_EDGES_S` (seconds, log-spaced)
+and :data:`UTILIZATION_EDGES` (linear to 1.0 plus overload buckets).
+
+Like the tracer, the registry has a disabled singleton
+(:data:`NULL_REGISTRY`) whose instruments are shared no-ops, so
+metric updates in library code are safe and free when observability is
+not active.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_EDGES_S",
+    "UTILIZATION_EDGES",
+]
+
+#: Log-spaced latency bucket edges in seconds (1 ms … 10 s).
+LATENCY_EDGES_S: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+#: Linear utilization edges with explicit overload buckets.
+UTILIZATION_EDGES: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0
+)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        self.value += value
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> float | None:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (see module docstring for the bucket rule)."""
+
+    __slots__ = ("name", "edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, edges: Iterable[float]) -> None:
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        if not self.edges:
+            raise ValueError(f"histogram {self.name}: need at least one edge")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError(f"histogram {self.name}: edges must be increasing")
+        self.counts = [0] * (len(self.edges) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    def bucket_of(self, value: float) -> int:
+        """Index of the bucket *value* falls in (len(edges) = overflow)."""
+        return bisect_left(self.edges, float(value))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported as one JSON doc."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ---------------------------------------------------------- instruments
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, edges: Iterable[float] = LATENCY_EDGES_S
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, edges)
+        elif tuple(float(e) for e in edges) != h.edges:
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return h
+
+    # --------------------------------------------------------------- export
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {k: c.to_dict() for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.to_dict() for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def export_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+class _NullInstrument:
+    """Shared no-op standing in for every disabled instrument."""
+
+    __slots__ = ()
+    name = ""
+    value = None
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    edges: tuple[float, ...] = ()
+    counts: list[int] = []
+
+    def inc(self, value: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+    def to_dict(self):
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: instruments are shared no-ops."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        pass
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, edges=LATENCY_EDGES_S) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def export_json(self, path) -> None:
+        raise RuntimeError("cannot export the disabled NULL_REGISTRY; "
+                           "activate a real MetricsRegistry first")
+
+
+#: The process-wide disabled registry (default ambient registry).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,264 @@
+"""Structured event tracer: nestable spans, events, JSONL export.
+
+A :class:`Tracer` records the shape of one run as a tree of **spans**
+(named intervals with wall-clock start/end, attributes and counters) and
+point-in-time **events** attached to the innermost open span.  Records
+are plain dicts, exported one-per-line as JSONL (:meth:`Tracer.export_jsonl`)
+and re-loaded with :func:`read_jsonl` — the machine-readable trace of an
+episode that EXPERIMENTS.md-style analyses can post-process.
+
+Tracing is **off by default** everywhere in the library: instrumented
+code paths obtain the ambient tracer from :func:`repro.obs.current`,
+which hands out the :data:`NULL_TRACER` singleton unless a real tracer
+was activated.  The null tracer's methods are no-ops and its
+``enabled`` flag is False, so hot loops hoist the flag once and skip
+even argument construction:
+
+    tracer = obs.current().tracer
+    trace_on = tracer.enabled
+    for ...:
+        if trace_on:
+            tracer.event("alns.iter", it=it, objective=obj)
+
+The overhead contract (a disabled tracer must not cost measurable
+throughput in the ALNS inner loop) is bounded in CI by the tracer-on
+bench smoke gate — see the "Observability" section of
+docs/ARCHITECTURE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+
+
+class Span:
+    """One open (then closed) interval of a :class:`Tracer`.
+
+    Returned by ``with tracer.span(...) as sp`` so instrumented code can
+    attach attributes (:meth:`set`) and accumulate counters (:meth:`add`)
+    while the span is live.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "start", "end",
+                 "attrs", "counters")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.start = 0.0
+        self.end = 0.0
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach attribute *key* = *value* to the span."""
+        self.attrs[key] = value
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        """Add *value* to the span-local counter *counter*."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + value
+
+    # -------------------------------------------------------- context manager
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.attrs["error"] = repr(exc)
+        self._tracer._close(self)
+        return False
+
+    def to_record(self) -> dict[str, Any]:
+        rec: dict[str, Any] = {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t0": self.start,
+            "t1": self.end,
+        }
+        if self.attrs:
+            rec["attrs"] = self.attrs
+        if self.counters:
+            rec["counters"] = self.counters
+        return rec
+
+
+class Tracer:
+    """Collects spans and events; see the module docstring.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds); injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._records: list[dict[str, Any]] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+        #: Counters accumulated outside any open span.
+        self.root_counters: dict[str, float] = {}
+
+    # ------------------------------------------------------------------- API
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Context manager opening a span named *name* with *attrs*."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event under the innermost open span."""
+        rec: dict[str, Any] = {
+            "kind": "event",
+            "name": name,
+            "t": self._clock(),
+            "span": self._stack[-1].span_id if self._stack else None,
+        }
+        if attrs:
+            rec["attrs"] = attrs
+        self._records.append(rec)
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        """Add to the innermost open span's counter (or the root counters)."""
+        if self._stack:
+            self._stack[-1].add(counter, value)
+        else:
+            self.root_counters[counter] = self.root_counters.get(counter, 0.0) + value
+
+    @property
+    def current_span(self) -> Span | None:
+        """Innermost open span, or None at top level."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    # ----------------------------------------------------------------- export
+    def records(self) -> list[dict[str, Any]]:
+        """All closed records (completion order), plus root counters."""
+        out = list(self._records)
+        if self.root_counters:
+            out.append({"kind": "counters", "counters": dict(self.root_counters)})
+        return out
+
+    def export_jsonl(self, path) -> None:
+        """Write one JSON record per line to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.records():
+                fh.write(json.dumps(rec, default=_jsonable) + "\n")
+
+    # --------------------------------------------------------------- internal
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+        span.start = self._clock()
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        # Tolerate mis-nested exits: unwind to (and including) this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._records.append(span.to_record())
+
+
+class _NullSpan:
+    """Shared do-nothing span; one instance serves every disabled call."""
+
+    __slots__ = ()
+    name = ""
+    span_id = -1
+    parent_id = None
+    attrs: dict[str, Any] = {}
+    counters: dict[str, float] = {}
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every method is a no-op (see module docstring)."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no state at all
+        self.root_counters = {}
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        pass
+
+    @property
+    def current_span(self):
+        return None
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+    def records(self) -> list[dict[str, Any]]:
+        return []
+
+    def export_jsonl(self, path) -> None:
+        raise RuntimeError("cannot export the disabled NULL_TRACER; "
+                           "activate a real Tracer first")
+
+
+#: The process-wide disabled tracer (default ambient tracer).
+NULL_TRACER = NullTracer()
+
+
+def read_jsonl(path) -> list[dict[str, Any]]:
+    """Load records written by :meth:`Tracer.export_jsonl`."""
+    out: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def iter_spans(records: list[dict[str, Any]]) -> Iterator[dict[str, Any]]:
+    """Yield just the span records of :meth:`Tracer.records` output."""
+    return (r for r in records if r.get("kind") == "span")
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback serializer: numpy scalars/arrays and other oddballs."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms import RebalanceResult, SRA, SRAConfig
 from repro.algorithms.repair import regret2_insertion
 from repro.cluster import ClusterState, ExchangeLedger
@@ -110,11 +111,20 @@ class RecoveryPlanner:
 
         Orphans are placed by regret-2 insertion (capacity, anti-affinity
         and blocked machines respected); rebuild sources are surviving
-        replica siblings where available.
+        replica siblings where available.  The placement RNG derives
+        from the configured ALNS seed (``sra_config.alns.seed``), so
+        recovery plans are reproducible under user-controlled seeding.
         """
+        tracer = obs.current().tracer
+        recovery_span = tracer.span(
+            "recovery.recover", orphans=len(orphans), seed=self.sra_config.alns.seed
+        )
+        recovery_span.__enter__()
         work = degraded.copy()
         missing = [j for j in orphans if work.machine_of(j) < 0]
-        regret2_insertion(work, np.random.default_rng(0), missing)
+        rng = np.random.default_rng(self.sra_config.alns.seed)
+        with tracer.span("recovery.place", missing=len(missing)):
+            regret2_insertion(work, rng, missing)
 
         # Peak over in-service machines only.
         peaks = work.machine_peak_utilization()
@@ -138,11 +148,22 @@ class RecoveryPlanner:
 
         rebalance = None
         if self.rebalance_after and feasible:
-            rebalance = SRA(self.sra_config).rebalance(work, ledger)
+            with tracer.span("recovery.rebalance"):
+                rebalance = SRA(self.sra_config).rebalance(work, ledger)
             if rebalance.feasible:
                 work.apply_assignment(rebalance.target_assignment)
                 peaks = work.machine_peak_utilization()
                 peak = float(peaks[in_service].max())
+
+        recovery_span.set("feasible", feasible)
+        recovery_span.set("peak_after", peak)
+        recovery_span.set("rebuild_bytes", rebuild)
+        recovery_span.__exit__(None, None, None)
+        metrics = obs.current().metrics
+        if metrics.enabled:
+            metrics.counter("recovery.episodes").inc()
+            metrics.counter("recovery.rebuild_bytes").inc(rebuild)
+            metrics.gauge("recovery.peak_after").set(peak)
 
         return RecoveryResult(
             feasible=feasible,

@@ -23,8 +23,10 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro._validation import check_fraction, check_positive
 from repro.cluster import ClusterState
+from repro.obs.metrics import LATENCY_EDGES_S, UTILIZATION_EDGES
 from repro.simulate.latency import LatencySummary, summarize
 from repro.simulate.workprofile import WorkProfile
 
@@ -83,6 +85,13 @@ class ServingReport:
 
     @property
     def peak_busy_fraction(self) -> float:
+        """Busiest machine's busy fraction over the **arrival window**.
+
+        Background load included; a value above 1.0 means the machine
+        was offered more work than it could serve inside the window
+        (the drain spills past it) — i.e. it is overloaded, which is
+        exactly what this figure exists to expose.
+        """
         return float(self.machine_busy_fraction.max())
 
 
@@ -149,6 +158,16 @@ def simulate_serving(
         num_arrivals = int(arrival_times.size)
     query_rows = rng.integers(0, profile.num_queries, size=num_arrivals)
 
+    o = obs.current()
+    sim_span = o.tracer.span(
+        "simulate.serving",
+        machines=state.num_machines,
+        shards=state.num_shards,
+        arrivals=int(num_arrivals),
+        duration=cfg.duration,
+    )
+    sim_span.__enter__()
+
     assign = state.assignment_view()
     # Machine state: next time each (single-server FCFS) machine is free.
     free_at = np.zeros(state.num_machines)
@@ -176,14 +195,60 @@ def simulate_serving(
                 finish_max = free_at[m]
         latencies[qi] = finish_max - t
 
-    horizon = max(float(free_at.max(initial=0.0)), cfg.duration)
-    return ServingReport(
+    busy_fraction = _busy_fraction(
+        busy_time, arrival_times, cfg, state.num_machines
+    )
+    report = ServingReport(
         latency=summarize(latencies) if num_arrivals else _empty_summary(),
-        machine_busy_fraction=busy_time / horizon,
+        machine_busy_fraction=busy_fraction,
         queries_completed=int(num_arrivals),
         raw_arrivals=arrival_times.copy() if capture_raw else None,
         raw_latencies=latencies.copy() if capture_raw else None,
     )
+    if o.metrics.enabled:
+        m = o.metrics
+        m.counter("sim.queries").inc(num_arrivals)
+        m.histogram("sim.latency_seconds", LATENCY_EDGES_S).observe_many(latencies)
+        if num_arrivals > 1:
+            m.histogram("sim.interarrival_seconds", LATENCY_EDGES_S).observe_many(
+                np.diff(arrival_times)
+            )
+        m.histogram("sim.machine_busy_fraction", UTILIZATION_EDGES).observe_many(
+            busy_fraction
+        )
+        m.gauge("sim.peak_busy_fraction").set(report.peak_busy_fraction)
+        for mid in range(state.num_machines):
+            m.gauge(f"sim.machine_busy_fraction[{mid}]").set(busy_fraction[mid])
+    sim_span.set("peak_busy_fraction", report.peak_busy_fraction)
+    if num_arrivals:
+        sim_span.set("p99_seconds", report.latency.p99)
+    sim_span.__exit__(None, None, None)
+    return report
+
+
+def _busy_fraction(
+    busy_time: np.ndarray,
+    arrival_times: np.ndarray,
+    cfg: ServingConfig,
+    num_machines: int,
+) -> np.ndarray:
+    """Per-machine busy fraction over the arrival window.
+
+    The window is the configured arrival duration (stretched to cover
+    explicit arrival times that run past it), **not** the drain-inclusive
+    horizon: dividing by the horizon dilutes every machine's figure as
+    soon as one machine drains late, understating busyness exactly when
+    the fleet is loaded.  Background load occupies its machine for the
+    whole window, so its fraction adds on top; a result above 1.0 means
+    offered load exceeded capacity (overload).
+    """
+    window = cfg.duration
+    if arrival_times.size:
+        window = max(window, float(arrival_times[-1]))
+    fraction = busy_time / window
+    for mid, frac in cfg.background_load.items():
+        fraction[mid] += frac
+    return fraction
 
 
 def _empty_summary() -> LatencySummary:

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro._validation import check_in
 from repro.cluster import ClusterState
-from repro.simulate.des import ServingConfig, ServingReport, _empty_summary
+from repro.simulate.des import ServingConfig, ServingReport, _busy_fraction, _empty_summary
 from repro.simulate.latency import summarize
 from repro.simulate.workprofile import WorkProfile
 
@@ -119,9 +119,13 @@ def simulate_routed_serving(
                 finish_max = free_at[m]
         latencies[qi] = finish_max - t
 
-    horizon = max(float(free_at.max(initial=0.0)), cfg.duration)
+    # Same arrival-window convention as simulate_serving (see
+    # repro.simulate.des._busy_fraction): drain time does not dilute the
+    # fractions, background load adds on top.
     return ServingReport(
         latency=summarize(latencies) if num_arrivals else _empty_summary(),
-        machine_busy_fraction=busy_time / horizon,
+        machine_busy_fraction=_busy_fraction(
+            busy_time, arrival_times, cfg, state.num_machines
+        ),
         queries_completed=int(num_arrivals),
     )

@@ -110,6 +110,54 @@ class TestRebalance:
         assert load_json(out).num_machines == 10  # 8 + 2 borrowed
 
 
+class TestObservabilityFlags:
+    def test_run_is_an_alias_of_rebalance(self, snapshot, capsys):
+        assert main(["run", str(snapshot), "--iterations", "100"]) == 0
+        assert "peak before" in capsys.readouterr().out
+
+    def test_trace_and_metrics_artifacts(self, snapshot, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run", str(snapshot),
+                "--iterations", "100",
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out and "wrote metrics" in out
+
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        span_names = {r["name"] for r in records if r.get("kind") == "span"}
+        # Every episode phase appears in the trace.
+        assert {
+            "episode", "search", "alns.run", "sra.search",
+            "migration.plan", "evaluate",
+        } <= span_names
+        assert any(r.get("kind") == "event" for r in records)
+
+        doc = json.loads(metrics.read_text())
+        assert doc["counters"]["episode.runs"] == 1.0
+        assert doc["gauges"]["episode.peak_after"] is not None
+        assert doc["histograms"]["episode.machine_utilization"]["count"] > 0
+
+    def test_no_flags_means_no_artifacts(self, snapshot, capsys):
+        from repro import obs
+
+        assert main(["run", str(snapshot), "--iterations", "100"]) == 0
+        assert obs.current() is obs.NULL_OBS
+        assert "wrote trace" not in capsys.readouterr().out
+
+    def test_experiment_trace(self, tmp_path, capsys):
+        trace = tmp_path / "e1.jsonl"
+        assert main(["experiment", "e1", "--trace", str(trace)]) == 0
+        assert trace.exists()
+        assert "wrote trace" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_known_experiment_runs(self, capsys):
         assert main(["experiment", "e1"]) == 0

@@ -96,6 +96,21 @@ class TestQueryGeneration:
         with pytest.raises(ValueError, match="terms_per_query"):
             generate_queries(cfg, 5, terms_per_query=(3, 1))
 
+    def test_explicit_seed_used_verbatim(self):
+        # An explicit seed fully determines the stream, regardless of the
+        # corpus seed.
+        a = generate_queries(CorpusConfig(seed=0), 10, seed=42)
+        b = generate_queries(CorpusConfig(seed=99), 10, seed=42)
+        assert a == b
+
+    def test_default_seed_derives_from_corpus_seed(self):
+        # seed=None derives cfg.seed + 104729 — the parenthesization that
+        # distinguishes it from (cfg.seed + 104729 if seed is None else seed).
+        cfg = CorpusConfig(seed=7)
+        assert generate_queries(cfg, 10) == generate_queries(cfg, 10, seed=7 + 104729)
+        # Different corpus seeds therefore yield different default streams.
+        assert generate_queries(cfg, 10) != generate_queries(CorpusConfig(seed=8), 10)
+
 
 def hand_corpus():
     return [

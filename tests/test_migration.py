@@ -144,6 +144,22 @@ class TestWaveScheduler:
         sched = WaveScheduler().schedule(state, [])
         assert sched.feasible and sched.num_waves == 0 and sched.num_moves == 0
 
+    def test_empty_moves_report_current_fleet_peak(self):
+        # "No migration" still leaves machines loaded: the transient peak
+        # of an empty schedule is the fleet's current peak, not 0.0.
+        state, _ = swap_deadlock_state()  # both machines at 6/10
+        sched = WaveScheduler().schedule(state, [])
+        assert sched.peak_transient_utilization == pytest.approx(0.6)
+
+    def test_transient_peak_never_below_fleet_peak(self):
+        machines = Machine.homogeneous(2, 10.0)
+        shards = Shard.uniform(2, 3.0)
+        state = ClusterState(machines, shards, [0, 0])  # m0 at 0.6, m1 empty
+        target = np.array([0, 1], dtype=np.int64)
+        sched = WaveScheduler().schedule(state, diff_moves(state, target))
+        assert sched.feasible
+        assert sched.peak_transient_utilization >= 0.6 - 1e-12
+
 
 class TestDependencyGraph:
     def test_swap_creates_two_cycle(self):

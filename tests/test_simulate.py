@@ -180,6 +180,73 @@ class TestSimulateServing:
             ServingConfig(background_load={0: 1.0})
 
 
+class TestBusyFraction:
+    """Busy fractions are measured over the arrival window, not the
+    drain-inclusive horizon, and include background load."""
+
+    def test_overload_exceeds_one(self):
+        # 3 queries at t=0, each 1 s of service, in a 1 s arrival window:
+        # the machine was offered 3x its capacity.  Dividing by the drain
+        # horizon (3 s) would report a misleading 1.0 here.
+        state = cluster(1, [0])
+        prof = uniform_profile(1, work=8e5)  # 8e5 / (4 * 2e5) = 1 s/task
+        report = simulate_serving(
+            state,
+            prof,
+            config=ServingConfig(duration=1.0),
+            arrival_times=np.zeros(3),
+        )
+        assert report.peak_busy_fraction == pytest.approx(3.0)
+
+    def test_idle_tail_counts_against_busyness(self):
+        state = cluster(1, [0])
+        prof = uniform_profile(1, work=8e5)
+        report = simulate_serving(
+            state,
+            prof,
+            config=ServingConfig(duration=4.0),
+            arrival_times=np.zeros(1),
+        )
+        assert report.peak_busy_fraction == pytest.approx(0.25)
+
+    def test_window_stretches_to_late_explicit_arrivals(self):
+        state = cluster(1, [0])
+        prof = uniform_profile(1, work=8e5)
+        report = simulate_serving(
+            state,
+            prof,
+            config=ServingConfig(duration=1.0),
+            arrival_times=np.array([0.0, 5.0]),
+        )
+        # 2 s busy over a window stretched to the last arrival (5 s).
+        assert report.peak_busy_fraction == pytest.approx(0.4)
+
+    def test_background_load_included(self):
+        state = cluster(2, [0, 1])
+        prof = uniform_profile(2, work=8e5)
+        report = simulate_serving(
+            state,
+            prof,
+            config=ServingConfig(duration=4.0, background_load={0: 0.5}),
+            arrival_times=np.zeros(1),
+        )
+        # Machine 0: derated speed doubles service to 2 s -> 2/4 + 0.5 bg.
+        assert report.machine_busy_fraction[0] == pytest.approx(1.0)
+        # Machine 1: 1 s / 4 s, no background.
+        assert report.machine_busy_fraction[1] == pytest.approx(0.25)
+
+    def test_no_arrivals_still_reports_background(self):
+        state = cluster(1, [0])
+        report = simulate_serving(
+            state,
+            uniform_profile(1),
+            config=ServingConfig(duration=2.0, background_load={0: 0.3}),
+            arrival_times=np.array([]),
+        )
+        assert report.queries_completed == 0
+        assert report.peak_busy_fraction == pytest.approx(0.3)
+
+
 class TestWorkProfilePersistence:
     def test_json_roundtrip(self, tmp_path):
         profile = WorkProfile(np.array([[1.0, 2.5], [0.0, 7.0]]))

@@ -24,6 +24,17 @@ Modes
     and the legacy copy-based engine on small instances and fail unless
     best objective, acceptance count and history agree exactly.
 
+``--trace-on``
+    Run every measurement under an *active* observability bundle
+    (``repro.obs``), so the smoke gate bounds the overhead of
+    instrumentation itself: tracer-on throughput must stay within the
+    same tolerance of the committed tracer-off baseline.
+
+``--metrics-out PATH``
+    Export the metrics registry accumulated across the measured runs as
+    JSON (defaults to ``BENCH_alns_metrics.json`` next to the baseline
+    during ``--update``).
+
 Default (no flag): run the full matrix and print a comparison against
 the committed baseline without failing.
 """
@@ -42,6 +53,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.algorithms.destroy import DEFAULT_DESTROY_OPS  # noqa: E402
 from repro.algorithms.lns import AlnsConfig, AlnsEngine  # noqa: E402
 from repro.algorithms.objective import IncrementalObjective, Objective  # noqa: E402
@@ -49,6 +61,31 @@ from repro.algorithms.repair import DEFAULT_REPAIR_OPS  # noqa: E402
 from repro.workloads import scaling_suite  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_alns.json"
+METRICS_PATH = REPO_ROOT / "BENCH_alns_metrics.json"
+
+#: Registry shared by every measured run of this process; exported by
+#: ``--metrics-out`` (always) and ``--update`` (to METRICS_PATH).
+_REGISTRY = obs.MetricsRegistry()
+
+#: When True (--trace-on) each measured run executes under an active
+#: tracer, so throughput numbers include instrumentation overhead.
+TRACE_ON = False
+
+
+def _run_observed(engine: AlnsEngine, state, objective):
+    """One engine run under the configured observability mode.
+
+    Metrics always accumulate into the shared registry (cheap, one
+    counter bump per run); the tracer — the per-iteration hot-path cost
+    being gated — is only active under ``--trace-on``, with a fresh
+    tracer per run so record accumulation cannot distort later repeats.
+    """
+    tracer = obs.Tracer() if TRACE_ON else obs.NULL_TRACER
+    previous = obs.activate(obs.Obs(tracer, _REGISTRY))
+    try:
+        return engine.run(state, objective)
+    finally:
+        obs.deactivate(previous)
 
 #: (machines, shards_per_machine) -> full-run iteration budget.  Budgets
 #: shrink with size so every row takes roughly comparable wall-clock.
@@ -86,9 +123,13 @@ def _measure_size(
     best_rate = 0.0
     for _ in range(repeats):
         t0 = time.perf_counter()
-        out = _engine(iterations).run(state.copy(), _objective(state))
+        out = _run_observed(_engine(iterations), state.copy(), _objective(state))
         elapsed = time.perf_counter() - t0
         best_rate = max(best_rate, iterations / elapsed)
+        _REGISTRY.histogram(
+            "bench.its_per_sec", (10, 30, 100, 300, 1000, 3000, 10000)
+        ).observe(iterations / elapsed)
+    _REGISTRY.gauge(f"bench.{m}x{spm}.its_per_sec").set(best_rate)
     row = {
         "iterations": iterations,
         "its_per_sec": best_rate,
@@ -96,8 +137,10 @@ def _measure_size(
         "accepted": out.accepted,
     }
     if budget is not None:
-        timed = _engine(10**9, time_limit=budget, collect_history=False).run(
-            state.copy(), _objective(state)
+        timed = _run_observed(
+            _engine(10**9, time_limit=budget, collect_history=False),
+            state.copy(),
+            _objective(state),
         )
         row["best_at_budget"] = timed.best_objective
         row["iters_at_budget"] = timed.iterations
@@ -135,6 +178,8 @@ def cmd_update(budget: float) -> int:
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
     print(f"wrote {BASELINE_PATH}")
+    _REGISTRY.export_json(METRICS_PATH)
+    print(f"wrote {METRICS_PATH}")
     return 0
 
 
@@ -159,7 +204,8 @@ def cmd_smoke(tolerance: float) -> int:
     if failures:
         print("\n".join(["", "PERF REGRESSION:"] + failures), file=sys.stderr)
         return 1
-    print(f"smoke ok (within {tolerance:.0%} of committed baseline)")
+    mode = "tracer-on" if TRACE_ON else "tracer-off"
+    print(f"smoke ok ({mode}, within {tolerance:.0%} of committed baseline)")
     return 0
 
 
@@ -212,23 +258,42 @@ def main(argv: list[str] | None = None) -> int:
         default=float(os.environ.get("BENCH_ALNS_TOLERANCE", "0.30")),
         help="allowed fractional it/s regression for --smoke",
     )
+    parser.add_argument(
+        "--trace-on",
+        action="store_true",
+        help="run every measurement under an active tracer "
+        "(gates instrumentation overhead)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export the accumulated metrics registry as JSON",
+    )
     args = parser.parse_args(argv)
-    if args.update:
-        return cmd_update(args.budget)
-    if args.smoke:
-        return cmd_smoke(args.tolerance)
-    if args.check:
-        return cmd_check()
-    results = run_matrix(FULL_SIZES, args.budget)
-    if BASELINE_PATH.exists():
-        baseline = json.loads(BASELINE_PATH.read_text())["results"]
-        print("\nvs committed baseline:")
-        for name, row in results.items():
-            ref = baseline.get(name)
-            if ref:
-                ratio = row["its_per_sec"] / ref["its_per_sec"]
-                print(f"  {name:24s} {ratio:5.2f}x baseline it/s")
-    return 0
+    global TRACE_ON
+    TRACE_ON = args.trace_on
+    try:
+        if args.update:
+            return cmd_update(args.budget)
+        if args.smoke:
+            return cmd_smoke(args.tolerance)
+        if args.check:
+            return cmd_check()
+        results = run_matrix(FULL_SIZES, args.budget)
+        if BASELINE_PATH.exists():
+            baseline = json.loads(BASELINE_PATH.read_text())["results"]
+            print("\nvs committed baseline:")
+            for name, row in results.items():
+                ref = baseline.get(name)
+                if ref:
+                    ratio = row["its_per_sec"] / ref["its_per_sec"]
+                    print(f"  {name:24s} {ratio:5.2f}x baseline it/s")
+        return 0
+    finally:
+        if args.metrics_out:
+            _REGISTRY.export_json(args.metrics_out)
+            print(f"wrote {args.metrics_out}")
 
 
 if __name__ == "__main__":
