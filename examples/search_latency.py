@@ -16,7 +16,7 @@ Run:  python examples/search_latency.py
 
 import numpy as np
 
-from repro.cluster import ClusterState, ExchangeLedger, Machine
+from repro.cluster import ClusterState, Machine
 from repro.engine import CorpusConfig, SearchBroker, ShardedIndex, generate_corpus, generate_queries
 from repro.experiments.common import run_sra_with_exchange
 from repro.simulate import ServingConfig, WorkProfile, simulate_serving

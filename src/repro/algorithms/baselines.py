@@ -22,7 +22,7 @@ import time
 import numpy as np
 
 from repro.cluster import ClusterState, ExchangeLedger
-from repro.migration import StagingPlanner, WaveScheduler
+from repro.migration import StagingPlanner
 from repro.algorithms.base import RebalanceResult, Rebalancer, finalize_result
 
 __all__ = [

@@ -22,7 +22,7 @@ unassigned in *state*.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 

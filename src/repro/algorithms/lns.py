@@ -58,6 +58,13 @@ class AlnsConfig:
         current / being accepted.
     seed:
         RNG seed.
+    n_workers:
+        Worker processes available to the surrounding restart/portfolio
+        layer (``repro.parallel``).  The ALNS inner loop itself is
+        inherently sequential (simulated annealing over one trajectory);
+        this knob sizes the pool that restart fan-outs
+        (``SRAConfig.restarts``, CLI ``--restarts/--workers``) schedule
+        onto.  1 (the default) is today's serial path.
     """
 
     iterations: int = 2500
@@ -77,6 +84,7 @@ class AlnsConfig:
     score_improve: float = 4.0
     score_accept: float = 1.0
     seed: int = 0
+    n_workers: int = 1
     #: Record the incumbent objective after every iteration.  Disable on
     #: long runs where only the final outcome matters.
     collect_history: bool = True
@@ -101,6 +109,7 @@ class AlnsConfig:
             raise ValueError(f"cooling must be in (0, 1], got {self.cooling}")
         check_positive("segment_length", self.segment_length)
         check_fraction("reaction", self.reaction)
+        check_positive("n_workers", self.n_workers)
 
 
 @dataclass

@@ -7,9 +7,16 @@ they parallelize perfectly across processes —
 :class:`PortfolioRebalancer` is the classic seed-portfolio pattern:
 
 * spawn K copies of the inner rebalancer with distinct seeds,
-* run them on a process pool (``n_jobs`` workers; 1 = sequential,
-  useful under test runners and on single-core boxes),
+* run them on :class:`repro.parallel.ParallelRunner` (``n_jobs``
+  workers; 1 = sequential in-process, useful under test runners and on
+  single-core boxes) — which also gives the portfolio crash isolation
+  and per-arm observability merge for free,
 * return the best feasible result by (peak utilization, moves).
+
+The portfolio keeps the historical ``seed = base_seed + k`` arm-seeding
+scheme (so arm 0 reproduces a plain SRA run of the base config exactly);
+restart fan-outs driven by ``SRAConfig.restarts`` use the
+``SeedSequence.spawn`` scheme instead — see ``repro.parallel.seeds``.
 
 Everything shipped to workers is picklable (states carry plain NumPy
 arrays and frozen dataclasses), so no shared memory or server process is
@@ -18,7 +25,6 @@ needed.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
 from repro._validation import check_positive
@@ -26,12 +32,14 @@ from repro.cluster import ClusterState, ExchangeLedger
 from repro.algorithms.base import RebalanceResult, Rebalancer
 from repro.algorithms.sra import SRA
 from repro.algorithms.sra_config import SRAConfig
+from repro.parallel import ParallelRunner, TaskSpec
 
 __all__ = ["PortfolioRebalancer"]
 
 
-def _run_one(args: tuple[SRAConfig, ClusterState, ExchangeLedger | None]) -> RebalanceResult:
-    config, state, ledger = args
+def _run_one(
+    config: SRAConfig, state: ClusterState, ledger: ExchangeLedger | None
+) -> RebalanceResult:
     return SRA(config).rebalance(state, ledger)
 
 
@@ -67,15 +75,20 @@ class PortfolioRebalancer(Rebalancer):
         self, state: ClusterState, ledger: ExchangeLedger | None = None
     ) -> RebalanceResult:
         base_seed = self.base_config.alns.seed
-        configs = [
-            replace(self.base_config, seed=base_seed + k) for k in range(self.runs)
+        specs = [
+            TaskSpec(
+                fn=_run_one,
+                args=(replace(self.base_config, seed=base_seed + k), state, ledger),
+                name=f"portfolio[{k}]",
+                seed=base_seed + k,
+            )
+            for k in range(self.runs)
         ]
-        jobs = [(cfg, state, ledger) for cfg in configs]
-        if self.n_jobs == 1:
-            results = [_run_one(job) for job in jobs]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_jobs) as pool:
-                results = list(pool.map(_run_one, jobs))
+        rows = ParallelRunner(self.n_jobs).run(specs)
+        results = [row.value for row in rows if row.ok]
+        if not results:
+            errors = "; ".join(f"{row.name}: {row.error}" for row in rows)
+            raise RuntimeError(f"all {self.runs} portfolio arms failed ({errors})")
         best = min(
             results,
             key=lambda r: (not r.feasible, r.peak_after, r.num_moves),

@@ -30,7 +30,6 @@ from repro.algorithms.base import RebalanceResult, Rebalancer, finalize_result
 from repro.algorithms.destroy import (
     DEFAULT_DESTROY_OPS,
     DestroyOperator,
-    exchange_swap_removal,
     random_removal,
     shaw_removal,
     worst_machine_removal,
@@ -64,8 +63,21 @@ class SRA(Rebalancer):
     def rebalance(
         self, state: ClusterState, ledger: ExchangeLedger | None = None
     ) -> RebalanceResult:
-        started = time.perf_counter()
         cfg = self.config
+        if cfg.restarts > 1:
+            # Best-of-K independent restarts, fanned across the worker
+            # pool sized by alns.n_workers (see repro.parallel).
+            from repro.parallel import run_sra_restarts
+
+            report = run_sra_restarts(
+                state,
+                ledger,
+                config=cfg,
+                restarts=cfg.restarts,
+                n_workers=cfg.alns.n_workers,
+            )
+            return report.best
+        started = time.perf_counter()
         required = ledger.required_returns if ledger is not None else 0
 
         objective = Objective(

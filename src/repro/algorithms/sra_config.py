@@ -39,8 +39,17 @@ class SRAConfig:
         state still passes the feasibility coupling.
     polish_steps:
         Step budget of the polish phase.
+    restarts:
+        Independent search restarts (best-of-K).  When > 1 the search is
+        fanned out by ``repro.parallel.run_sra_restarts``: restart ``k``
+        runs with seed ``spawn_seeds(alns.seed, K)[k]`` and the best
+        feasible result wins.  The restart set is a pure function of the
+        master seed, so results are identical for any worker count.
     seed:
         Convenience override for ``alns.seed``.
+    n_workers:
+        Convenience override for ``alns.n_workers`` — the worker-pool
+        size restarts are scheduled onto (1 = serial, today's path).
     debug_cross_check:
         Re-derive every delta-evaluated objective from scratch and raise
         on any mismatch (see the "Delta evaluation contract" section of
@@ -54,11 +63,20 @@ class SRAConfig:
     use_vacancy_removal: bool = True
     polish: bool = True
     polish_steps: int = 3000
+    restarts: int = 1
     seed: int | None = None
+    n_workers: int | None = None
     debug_cross_check: bool = False
 
     def __post_init__(self) -> None:
         if self.max_hops_per_shard < 1:
             raise ValueError("max_hops_per_shard must be >= 1")
+        if self.restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        overrides = {}
         if self.seed is not None:
-            object.__setattr__(self, "alns", replace(self.alns, seed=self.seed))
+            overrides["seed"] = self.seed
+        if self.n_workers is not None:
+            overrides["n_workers"] = self.n_workers
+        if overrides:
+            object.__setattr__(self, "alns", replace(self.alns, **overrides))

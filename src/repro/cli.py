@@ -8,8 +8,16 @@
   print the episode report, optionally write the resulting snapshot and
   the observability artifacts (``--trace out.jsonl``, ``--metrics
   out.json`` — see docs/ARCHITECTURE.md, "Observability");
-* ``experiment`` — regenerate one of the experiment tables (E1–E20),
-  with the same artifact flags.
+* ``experiment`` — regenerate one experiment table (E1–E20) or, with
+  ``--all``, the whole suite — optionally fanned across worker
+  processes (``--workers N``) by the ``repro.parallel`` driver, with
+  the same artifact flags plus ``--out-dir`` for machine-readable
+  tables.
+
+``run``/``rebalance`` accept ``--restarts K --workers N`` to fan K
+independent SRA restarts across N worker processes (best-of-K wins;
+results are identical for any worker count — see docs/ARCHITECTURE.md,
+"Parallel execution").
 
 Every command is a thin shell over the library API, so anything the CLI
 does is equally scriptable in Python.
@@ -86,14 +94,33 @@ def build_parser() -> argparse.ArgumentParser:
         reb.add_argument("--iterations", type=int, default=2000,
                          help="SRA search iterations")
         reb.add_argument("--seed", type=int, default=0)
+        reb.add_argument("--restarts", type=int, default=1, metavar="K",
+                         help="independent SRA restarts, best-of-K; restart "
+                              "seeds are spawned deterministically from --seed "
+                              "(SRA only)")
+        reb.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes the restarts are fanned "
+                              "across (1 = serial; results are identical for "
+                              "any worker count)")
         reb.add_argument("--out", default=None,
                          help="write the rebalanced snapshot here")
         _add_obs_arguments(reb)
 
-    exp = sub.add_parser("experiment", help="regenerate an experiment table")
-    exp.add_argument("id", help="experiment id, e.g. e3")
+    exp = sub.add_parser("experiment", help="regenerate experiment tables")
+    exp.add_argument("id", nargs="?", default=None,
+                     help="experiment id, e.g. e3 (omit with --all)")
+    exp.add_argument("--all", action="store_true",
+                     help="run every registered experiment (E1-E20)")
+    exp.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes to run experiments on (row "
+                          "tables are identical for any worker count, "
+                          "wall-clock columns aside)")
+    exp.add_argument("--out-dir", default=None, metavar="DIR",
+                     help="write each table as <id>.txt/<id>.json plus an "
+                          "index.json manifest into DIR")
     exp.add_argument("--full", action="store_true",
-                     help="full scale instead of the fast CI scale")
+                     help="full scale instead of the fast CI scale "
+                          "(REPRO_FULL=1 in the environment does the same)")
     _add_obs_arguments(exp)
     return parser
 
@@ -194,7 +221,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _make_algorithm(args: argparse.Namespace):
     if args.algorithm == "sra":
-        return SRA(SRAConfig(alns=AlnsConfig(iterations=args.iterations, seed=args.seed)))
+        return SRA(
+            SRAConfig(
+                alns=AlnsConfig(iterations=args.iterations, seed=args.seed),
+                restarts=args.restarts,
+                n_workers=args.workers,
+            )
+        )
     if args.algorithm == "local-search":
         return LocalSearchRebalancer(seed=args.seed)
     if args.algorithm == "greedy":
@@ -231,19 +264,34 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import REGISTRY, print_table
+    from repro.experiments import REGISTRY, is_full_run, print_table
+    from repro.parallel import run_experiments, save_tables
 
-    key = args.id.lower()
-    if key not in REGISTRY:
-        print(
-            f"unknown experiment {args.id!r}; available: {sorted(REGISTRY)}",
-            file=sys.stderr,
-        )
+    if args.all:
+        keys = None
+    elif args.id is None:
+        print("experiment: give an id (e.g. e3) or --all", file=sys.stderr)
         return 2
+    else:
+        key = args.id.lower()
+        if key not in REGISTRY:
+            print(
+                f"unknown experiment {args.id!r}; available: {sorted(REGISTRY)}",
+                file=sys.stderr,
+            )
+            return 2
+        keys = [key]
+    fast = not (args.full or is_full_run())
     with _ObsSession(args):
-        rows = REGISTRY[key](fast=not args.full)
-    print_table(rows, title=f"experiment {key}")
-    return 0
+        results = run_experiments(keys, fast=fast, n_workers=args.workers)
+    for res in results:
+        print_table(res.rows, title=f"experiment {res.key}")
+        if not res.ok:
+            print(f"experiment {res.key} FAILED: {res.error}", file=sys.stderr)
+    if args.out_dir:
+        save_tables(results, args.out_dir)
+        print(f"\nwrote {len(results)} tables -> {args.out_dir}")
+    return 0 if all(res.ok for res in results) else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -258,3 +306,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - `python -m repro.cli`
+    raise SystemExit(main())

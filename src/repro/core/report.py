@@ -6,8 +6,6 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-import numpy as np
-
 from repro.algorithms import RebalanceResult
 from repro.metrics import ImbalanceReport, MigrationSummary
 

@@ -10,7 +10,6 @@ same shards carry no replica labels.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms import LocalSearchRebalancer
 from repro.cluster import ClusterState, Shard

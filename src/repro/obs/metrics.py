@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from bisect import bisect_left
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 __all__ = [
     "Counter",
@@ -170,6 +170,34 @@ class MetricsRegistry:
             )
         return h
 
+    # ---------------------------------------------------------------- merge
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`to_dict` export into this one.
+
+        Counters add, gauges are last-write-wins (merge order decides),
+        and histograms add bucket-wise — which requires identical edges,
+        the property fixed edges exist to guarantee.  This is how a
+        parent process absorbs the registries shipped back by parallel
+        workers (see ``repro.parallel``).
+        """
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in data.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, doc in data.get("histograms", {}).items():
+            if doc is None:
+                continue
+            hist = self.histogram(name, doc["edges"])
+            for i, c in enumerate(doc["counts"]):
+                hist.counts[i] += int(c)
+            hist.count += int(doc["count"])
+            hist.sum += float(doc["sum"])
+            if doc.get("min") is not None:
+                hist.min = min(hist.min, float(doc["min"]))
+            if doc.get("max") is not None:
+                hist.max = max(hist.max, float(doc["max"]))
+
     # --------------------------------------------------------------- export
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -233,6 +261,9 @@ class NullRegistry(MetricsRegistry):
 
     def histogram(self, name: str, edges=LATENCY_EDGES_S) -> Histogram:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
+        pass
 
     def to_dict(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

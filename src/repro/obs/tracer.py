@@ -158,6 +158,41 @@ class Tracer:
             for rec in self.records():
                 fh.write(json.dumps(rec, default=_jsonable) + "\n")
 
+    def ingest(self, records: list[dict[str, Any]]) -> None:
+        """Merge *records* produced by another tracer (e.g. a worker process).
+
+        Span/event ids are remapped onto this tracer's id space and the
+        foreign trace's root spans are re-parented under the innermost
+        open span, so a parent run can absorb per-worker traces into one
+        tree.  Worker timestamps come from the worker's own monotonic
+        clock and are only meaningful relative to each other, not to the
+        parent's clock.
+        """
+        base = self._next_id
+        parent_id = self._stack[-1].span_id if self._stack else None
+        high = -1
+        for rec in records:
+            rec = dict(rec)
+            kind = rec.get("kind")
+            if kind == "span":
+                rec["id"] = int(rec["id"]) + base
+                high = max(high, int(rec["id"]))
+                rec["parent"] = (
+                    parent_id if rec.get("parent") is None else int(rec["parent"]) + base
+                )
+            elif kind == "event":
+                rec["span"] = (
+                    parent_id if rec.get("span") is None else int(rec["span"]) + base
+                )
+            elif kind == "counters":
+                # Root counters fold into this tracer's root counters.
+                for key, value in rec.get("counters", {}).items():
+                    self.root_counters[key] = self.root_counters.get(key, 0.0) + value
+                continue
+            self._records.append(rec)
+        if high >= 0:
+            self._next_id = high + 1
+
     # --------------------------------------------------------------- internal
     def _open(self, span: Span) -> None:
         span.span_id = self._next_id
@@ -229,6 +264,9 @@ class NullTracer(Tracer):
 
     def records(self) -> list[dict[str, Any]]:
         return []
+
+    def ingest(self, records: list[dict[str, Any]]) -> None:
+        pass
 
     def export_jsonl(self, path) -> None:
         raise RuntimeError("cannot export the disabled NULL_TRACER; "

@@ -21,10 +21,8 @@ permanently).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal
-
-import numpy as np
 
 from repro._validation import check_non_negative, check_positive
 from repro.algorithms import Rebalancer

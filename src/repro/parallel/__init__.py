@@ -1,0 +1,37 @@
+"""Process-parallel execution layer (zero new dependencies).
+
+Public surface:
+
+* :func:`~repro.parallel.seeds.spawn_seeds` — deterministic per-task
+  seeds via ``numpy.random.SeedSequence.spawn`` keyed by task index;
+* :class:`~repro.parallel.runner.ParallelRunner` — bounded worker pool
+  with per-task timeouts, crash isolation and ``repro.obs`` merge;
+* :func:`~repro.parallel.restarts.run_sra_restarts` — best-of-K SRA
+  restart fan-out (what ``SRAConfig.restarts`` / CLI ``--restarts``
+  drive);
+* :func:`~repro.parallel.driver.run_experiments` /
+  :func:`~repro.parallel.driver.save_tables` — parallel E1–E20
+  experiment driver (what ``repro.cli experiment --all --workers N``
+  drives).
+
+See docs/ARCHITECTURE.md, "Parallel execution", for the seed-spawning
+contract, worker crash semantics and the obs merge rules.
+"""
+
+from repro.parallel.driver import ExperimentResult, run_experiments, save_tables
+from repro.parallel.restarts import RestartReport, run_sra_restarts
+from repro.parallel.runner import ParallelRunner, TaskResult, TaskSpec
+from repro.parallel.seeds import spawn_seed, spawn_seeds
+
+__all__ = [
+    "ExperimentResult",
+    "ParallelRunner",
+    "RestartReport",
+    "TaskResult",
+    "TaskSpec",
+    "run_experiments",
+    "run_sra_restarts",
+    "save_tables",
+    "spawn_seed",
+    "spawn_seeds",
+]

@@ -1,0 +1,113 @@
+"""Parallel experiment driver: run the E1–E20 registry on a worker pool.
+
+``run_experiments`` fans the ``repro.experiments.REGISTRY`` modules
+across a :class:`~repro.parallel.runner.ParallelRunner` and aggregates
+their row tables in registry order.  Each experiment is internally
+deterministic (fixed seeds), so the only columns that vary between a
+serial and a parallel run are wall-clock measurements
+(``runtime_s``-style fields); everything else is identical — the
+property the CI experiment-smoke job relies on.
+
+``save_tables`` writes the aggregated tables as both aligned text and
+JSON (plus an ``index.json`` manifest), which is what the CI smoke job
+uploads as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.parallel.runner import ParallelRunner, TaskSpec
+
+__all__ = ["ExperimentResult", "run_experiments", "save_tables"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's aggregated outcome."""
+
+    key: str
+    rows: list[dict[str, Any]]
+    ok: bool
+    error: str | None
+    duration_s: float
+
+
+def _experiment_task(key: str, fast: bool) -> list[dict[str, Any]]:
+    # Imported in the worker so a fresh process builds its own registry.
+    from repro.experiments import REGISTRY
+
+    return REGISTRY[key](fast=fast)
+
+
+def _registry_order(key: str) -> tuple[int, str]:
+    match = re.fullmatch(r"e(\d+)", key)
+    return (int(match.group(1)) if match else 10**9, key)
+
+
+def run_experiments(
+    keys: Sequence[str] | None = None,
+    *,
+    fast: bool = True,
+    n_workers: int = 1,
+    timeout_s: float | None = None,
+) -> list[ExperimentResult]:
+    """Run experiments (default: the whole registry) and aggregate rows.
+
+    Results come back in registry order (e1, e2, …, e20) regardless of
+    worker count or completion order.  A crashed or timed-out experiment
+    yields an ``ok=False`` entry with an empty row table; it does not
+    abort the other experiments.
+    """
+    from repro.experiments import REGISTRY
+
+    selected = sorted(REGISTRY, key=_registry_order) if keys is None else list(keys)
+    unknown = [k for k in selected if k not in REGISTRY]
+    if unknown:
+        raise ValueError(f"unknown experiments {unknown!r}; available: {sorted(REGISTRY)}")
+    specs = [
+        TaskSpec(fn=_experiment_task, args=(key, fast), name=f"experiment:{key}")
+        for key in selected
+    ]
+    results = ParallelRunner(n_workers, timeout_s=timeout_s).run(specs)
+    return [
+        ExperimentResult(
+            key=key,
+            rows=list(row.value) if row.ok else [],
+            ok=row.ok,
+            error=row.error,
+            duration_s=row.duration_s,
+        )
+        for key, row in zip(selected, results)
+    ]
+
+
+def save_tables(results: Sequence[ExperimentResult], out_dir: str | Path) -> Path:
+    """Write per-experiment tables (``.txt`` + ``.json``) and a manifest."""
+    from repro.experiments import format_table
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    index: dict[str, Any] = {}
+    for res in results:
+        index[res.key] = {
+            "ok": res.ok,
+            "rows": len(res.rows),
+            "duration_s": res.duration_s,
+            "error": res.error,
+        }
+        (out / f"{res.key}.json").write_text(
+            json.dumps(res.rows, indent=2, default=str) + "\n", encoding="utf-8"
+        )
+        (out / f"{res.key}.txt").write_text(
+            format_table(res.rows, title=f"experiment {res.key}") + "\n",
+            encoding="utf-8",
+        )
+    (out / "index.json").write_text(
+        json.dumps(index, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return out

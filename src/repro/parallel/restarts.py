@@ -1,0 +1,103 @@
+"""Parallel SRA restarts: independent seeds, best-of-K selection.
+
+LNS restarts share nothing, so K restarts scale across processes
+trivially — the companion resource-equivalence-classes argument (see
+PAPERS.md) for treating local search as embarrassingly restartable.
+Restart ``k`` runs the configured SRA with seed
+``spawn_seeds(master_seed, K)[k]``, so the restart set is a pure
+function of the master seed: the same K restarts run with 1, 2 or 8
+workers produce bitwise-identical per-restart results, and the winner
+is selected by a deterministic rule over the task-ordered results
+(feasibility first, then peak utilization, then move count — the same
+rule :class:`~repro.algorithms.PortfolioRebalancer` uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.parallel.runner import ParallelRunner, TaskResult, TaskSpec
+from repro.parallel.seeds import spawn_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sra imports us)
+    from repro.algorithms.base import RebalanceResult
+    from repro.algorithms.sra_config import SRAConfig
+    from repro.cluster import ClusterState, ExchangeLedger
+
+__all__ = ["RestartReport", "run_sra_restarts"]
+
+
+@dataclass
+class RestartReport:
+    """Outcome of a restart fan-out.
+
+    ``best`` carries the winning restart's full result with
+    ``iterations`` re-totalled across every successful restart (the work
+    actually spent).  ``results`` keeps every per-restart row, failures
+    included, in restart order.
+    """
+
+    best: "RebalanceResult"
+    results: list[TaskResult]
+    seeds: tuple[int, ...]
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+
+def _run_one(
+    config: "SRAConfig", state: "ClusterState", ledger: "ExchangeLedger | None"
+) -> "RebalanceResult":
+    from repro.algorithms.sra import SRA
+
+    return SRA(config).rebalance(state, ledger)
+
+
+def run_sra_restarts(
+    state: "ClusterState",
+    ledger: "ExchangeLedger | None" = None,
+    *,
+    config: "SRAConfig",
+    restarts: int,
+    n_workers: int = 1,
+    timeout_s: float | None = None,
+) -> RestartReport:
+    """Run *restarts* independent SRA searches; return the best result.
+
+    Each restart gets its spawned seed and ``restarts=1, n_workers=1``
+    (so a restart never recursively fans out).  Raises ``RuntimeError``
+    when every restart failed.
+    """
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    seeds = spawn_seeds(config.alns.seed, restarts)
+    specs = [
+        TaskSpec(
+            fn=_run_one,
+            args=(replace(config, seed=seed, restarts=1, n_workers=1), state, ledger),
+            name=f"sra.restart[{k}]",
+            seed=seed,
+        )
+        for k, seed in enumerate(seeds)
+    ]
+    results = ParallelRunner(n_workers, timeout_s=timeout_s).run(specs)
+    succeeded = [r for r in results if r.ok]
+    if not succeeded:
+        errors = "; ".join(f"{r.name}: {r.error}" for r in results)
+        raise RuntimeError(f"all {restarts} SRA restarts failed ({errors})")
+    best_row = min(succeeded, key=_selection_key)
+    best: "RebalanceResult" = best_row.value
+    best.iterations = sum(r.value.iterations for r in succeeded)
+    return RestartReport(best=best, results=results, seeds=seeds)
+
+
+def _selection_key(row: TaskResult) -> tuple[bool, float, int]:
+    result: "RebalanceResult" = row.value
+    return (not result.feasible, result.peak_after, result.num_moves)
+
+
+def restart_seeds(config: "SRAConfig", restarts: int) -> Sequence[int]:
+    """The per-restart seeds a fan-out of *restarts* would use."""
+    return spawn_seeds(config.alns.seed, restarts)

@@ -1,0 +1,307 @@
+"""Process-parallel task runner with crash isolation and obs merge.
+
+:class:`ParallelRunner` executes a list of :class:`TaskSpec` on up to
+``n_workers`` worker processes (one process per task, bounded
+concurrency) and returns one :class:`TaskResult` per task **in task
+order**, regardless of completion order.  Three properties distinguish
+it from a bare ``ProcessPoolExecutor``:
+
+* **crash isolation** — a worker that dies (segfault, ``os._exit``,
+  OOM-kill) yields a recorded failure row for its task; the run
+  continues and every other task still completes;
+* **per-task timeouts** — a task exceeding ``timeout_s`` is terminated
+  and recorded as timed out instead of hanging the run;
+* **observability merge** — when the parent has an active ``repro.obs``
+  bundle, each worker runs under a fresh tracer + registry and ships
+  its records back; the parent re-parents every worker trace under a
+  ``parallel.task`` span and folds worker metrics into its registry, in
+  task order, so merged artifacts are deterministic.
+
+``n_workers=1`` is the serial path: tasks run in-process (no
+``multiprocessing`` at all) under the ambient obs bundle, which is
+bitwise-identical to what the same tasks produce on a pool — the
+determinism contract tested by ``tests/test_parallel.py``.
+
+Task functions must be module-level callables and their arguments and
+results picklable (everything in this library is: states carry plain
+NumPy arrays and frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait
+from typing import Any, Callable, Mapping, Sequence
+
+from repro import obs
+from repro._validation import check_positive
+
+__all__ = ["TaskSpec", "TaskResult", "ParallelRunner"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a picklable callable plus its arguments."""
+
+    fn: Callable[..., Any]
+    args: tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Label used in failure rows, spans and progress lines.
+    name: str = ""
+    #: The task's spawned seed, recorded on the result for provenance
+    #: (the runner does not interpret it; see ``repro.parallel.seeds``).
+    seed: int | None = None
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, failure rows included."""
+
+    index: int
+    name: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    duration_s: float = 0.0
+    seed: int | None = None
+    timed_out: bool = False
+
+
+@dataclass
+class _Slot:
+    """Parent-side bookkeeping for one finished task (pre-merge)."""
+
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    duration_s: float = 0.0
+    timed_out: bool = False
+    trace: list[dict[str, Any]] = field(default_factory=list)
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _Running:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    index: int
+    spec: TaskSpec
+    process: Any
+    started: float
+
+
+def _format_error(exc: BaseException) -> str:
+    return "".join(traceback.format_exception_only(exc)).strip()
+
+
+def _worker_entry(spec: TaskSpec, capture_obs: bool, conn: Any) -> None:
+    """Worker process body: run the task under a fresh obs bundle.
+
+    The payload sent back is a plain dict so the parent can interpret it
+    even when the worker's exception types are not importable there.
+    """
+    bundle = (
+        obs.Obs(obs.Tracer(), obs.MetricsRegistry()) if capture_obs else obs.NULL_OBS
+    )
+    obs.activate(bundle)
+    started = time.perf_counter()
+    try:
+        value = spec.fn(*spec.args, **dict(spec.kwargs))
+        payload: dict[str, Any] = {"ok": True, "value": value, "error": None}
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        payload = {"ok": False, "value": None, "error": _format_error(exc)}
+    payload["duration_s"] = time.perf_counter() - started
+    if capture_obs:
+        payload["trace"] = bundle.tracer.records()
+        payload["metrics"] = bundle.metrics.to_dict()
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result: report, don't vanish
+        conn.send(
+            {
+                "ok": False,
+                "value": None,
+                "error": f"task result not picklable: {_format_error(exc)}",
+                "duration_s": payload["duration_s"],
+            }
+        )
+    conn.close()
+
+
+class ParallelRunner:
+    """Bounded-concurrency process runner (see module docstring).
+
+    Parameters
+    ----------
+    n_workers:
+        Maximum concurrent worker processes.  ``1`` (the default) runs
+        every task serially in-process — exactly today's single-core
+        path, with no multiprocessing machinery involved.
+    timeout_s:
+        Optional per-task wall-clock limit.  Only enforced on the pool
+        path (``n_workers > 1``); the serial path cannot preempt a
+        running task.
+    start_method:
+        ``multiprocessing`` start method (None = platform default,
+        ``fork`` on Linux).  Tasks must tolerate ``spawn`` to be
+        portable.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        *,
+        timeout_s: float | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        check_positive("n_workers", n_workers)
+        if timeout_s is not None:
+            check_positive("timeout_s", timeout_s)
+        self.n_workers = int(n_workers)
+        self.timeout_s = timeout_s
+        self._ctx = mp.get_context(start_method)
+
+    # ------------------------------------------------------------------ API
+    def run(self, tasks: Sequence[TaskSpec]) -> list[TaskResult]:
+        """Execute *tasks*; return one result per task, in task order."""
+        specs = list(tasks)
+        if not specs:
+            return []
+        if self.n_workers == 1:
+            return [self._run_inline(i, spec) for i, spec in enumerate(specs)]
+        slots = self._run_pool(specs)
+        return self._merge(specs, slots)
+
+    # --------------------------------------------------------- serial path
+    def _run_inline(self, index: int, spec: TaskSpec) -> TaskResult:
+        tracer = obs.current().tracer
+        started = time.perf_counter()
+        with tracer.span(
+            "parallel.task", index=index, task=spec.name, seed=spec.seed
+        ) as span:
+            try:
+                value = spec.fn(*spec.args, **dict(spec.kwargs))
+                ok, error = True, None
+            except Exception as exc:
+                value, ok, error = None, False, _format_error(exc)
+            duration = time.perf_counter() - started
+            span.set("ok", ok)
+            span.set("duration_s", duration)
+        return TaskResult(
+            index=index,
+            name=spec.name,
+            ok=ok,
+            value=value,
+            error=error,
+            duration_s=duration,
+            seed=spec.seed,
+        )
+
+    # ----------------------------------------------------------- pool path
+    def _run_pool(self, specs: list[TaskSpec]) -> list[_Slot]:
+        capture = obs.current().enabled
+        slots: list[_Slot | None] = [None] * len(specs)
+        pending: deque[tuple[int, TaskSpec]] = deque(enumerate(specs))
+        running: dict[Any, _Running] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.n_workers:
+                    index, spec = pending.popleft()
+                    recv, send = self._ctx.Pipe(duplex=False)
+                    process = self._ctx.Process(
+                        target=_worker_entry, args=(spec, capture, send)
+                    )
+                    process.start()
+                    send.close()  # parent's copy; EOF now tracks the worker
+                    running[recv] = _Running(index, spec, process, time.perf_counter())
+                tick = 0.05 if self.timeout_s is not None else None
+                ready = wait(list(running.keys()), timeout=tick)
+                for conn in ready:
+                    run = running.pop(conn)
+                    slots[run.index] = self._collect(run, conn)
+                if self.timeout_s is not None:
+                    now = time.perf_counter()
+                    for conn, run in list(running.items()):
+                        if now - run.started >= self.timeout_s:
+                            running.pop(conn)
+                            self._kill(run.process)
+                            conn.close()
+                            slots[run.index] = _Slot(
+                                ok=False,
+                                error=f"timed out after {self.timeout_s:g}s",
+                                duration_s=now - run.started,
+                                timed_out=True,
+                            )
+        finally:
+            for conn, run in running.items():
+                self._kill(run.process)
+                conn.close()
+        return [slot if slot is not None else _Slot(ok=False, error="not run")
+                for slot in slots]
+
+    def _collect(self, run: _Running, conn: Any) -> _Slot:
+        """Read one finished worker's payload (or record its crash)."""
+        payload: Mapping[str, Any] | None
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            payload = None
+        conn.close()
+        run.process.join()
+        if payload is None:
+            code = run.process.exitcode
+            return _Slot(
+                ok=False,
+                error=f"worker crashed before reporting (exitcode {code})",
+                duration_s=time.perf_counter() - run.started,
+            )
+        return _Slot(
+            ok=bool(payload["ok"]),
+            value=payload.get("value"),
+            error=payload.get("error"),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            trace=list(payload.get("trace", [])),
+            metrics=payload.get("metrics", {}),
+        )
+
+    @staticmethod
+    def _kill(process: Any) -> None:
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():
+            process.kill()
+            process.join()
+
+    def _merge(self, specs: list[TaskSpec], slots: list[_Slot]) -> list[TaskResult]:
+        """Fold worker obs payloads into the parent bundle, in task order."""
+        bundle = obs.current()
+        results: list[TaskResult] = []
+        for index, (spec, slot) in enumerate(zip(specs, slots)):
+            with bundle.tracer.span(
+                "parallel.task", index=index, task=spec.name, seed=spec.seed
+            ) as span:
+                span.set("ok", slot.ok)
+                span.set("duration_s", slot.duration_s)
+                if slot.timed_out:
+                    span.set("timed_out", True)
+                if slot.trace:
+                    bundle.tracer.ingest(slot.trace)
+            if slot.metrics:
+                bundle.metrics.merge_dict(slot.metrics)
+            results.append(
+                TaskResult(
+                    index=index,
+                    name=spec.name,
+                    ok=slot.ok,
+                    value=slot.value,
+                    error=slot.error,
+                    duration_s=slot.duration_s,
+                    seed=spec.seed,
+                    timed_out=slot.timed_out,
+                )
+            )
+        return results

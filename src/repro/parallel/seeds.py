@@ -1,0 +1,46 @@
+"""Deterministic seed spawning for parallel task fan-out.
+
+The contract (docs/ARCHITECTURE.md, "Parallel execution"): the seed of
+task ``i`` is a pure function of ``(master_seed, i)``.  We derive it
+from child ``i`` of ``numpy.random.SeedSequence(master_seed).spawn(n)``,
+whose spawn keys are assigned by index — so a run of N tasks is
+bitwise-reproducible and entirely independent of how many workers
+execute it or in which order tasks complete.
+
+Two useful corollaries:
+
+* **prefix stability** — ``spawn_seeds(m, k) == spawn_seeds(m, n)[:k]``
+  for ``k <= n``: growing a restart budget never changes the seeds of
+  the restarts already planned;
+* **independence** — SeedSequence guarantees the spawned streams are
+  statistically independent, unlike the classic ``base_seed + i``
+  pattern, whose streams can overlap for some bit generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds", "spawn_seed"]
+
+
+def spawn_seeds(master_seed: int, count: int) -> tuple[int, ...]:
+    """Per-task seeds for *count* tasks keyed by task index.
+
+    Each seed is a 63-bit non-negative integer (safe for JSON, for
+    ``AlnsConfig.seed`` and for ``numpy.random.default_rng``).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    children = np.random.SeedSequence(master_seed).spawn(count)
+    return tuple(
+        int(child.generate_state(1, np.uint64)[0] >> np.uint64(1))
+        for child in children
+    )
+
+
+def spawn_seed(master_seed: int, index: int) -> int:
+    """The seed of task *index* (== ``spawn_seeds(master_seed, n)[index]``)."""
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    return spawn_seeds(master_seed, index + 1)[index]

@@ -22,7 +22,7 @@ such snapshots hard for a rebalancer (see DESIGN.md §3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

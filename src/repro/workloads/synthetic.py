@@ -20,7 +20,7 @@ placements that are feasible (within capacity) by default but uneven.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np

@@ -158,6 +158,38 @@ class TestObservabilityFlags:
         assert "wrote trace" in capsys.readouterr().out
 
 
+class TestParallelFlags:
+    def test_run_with_restarts_and_workers(self, snapshot, capsys):
+        code = main(
+            [
+                "run", str(snapshot),
+                "--iterations", "100",
+                "--restarts", "2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "peak after" in capsys.readouterr().out
+
+    def test_restarts_match_any_worker_count(self, snapshot, capsys):
+        outputs = []
+        for workers in ("1", "2"):
+            assert main(
+                [
+                    "run", str(snapshot),
+                    "--iterations", "100",
+                    "--restarts", "2",
+                    "--workers", workers,
+                ]
+            ) == 0
+            table = capsys.readouterr().out
+            # Strip the wall-clock line; everything else must be identical.
+            outputs.append(
+                "\n".join(ln for ln in table.splitlines() if "runtime" not in ln)
+            )
+        assert outputs[0] == outputs[1]
+
+
 class TestExperiment:
     def test_known_experiment_runs(self, capsys):
         assert main(["experiment", "e1"]) == 0
@@ -168,6 +200,22 @@ class TestExperiment:
     def test_unknown_experiment_errors(self, capsys):
         assert main(["experiment", "e99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_id_without_all_errors(self, capsys):
+        assert main(["experiment"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_workers_and_out_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "tables"
+        code = main(
+            ["experiment", "e1", "--workers", "2", "--out-dir", str(out_dir)]
+        )
+        assert code == 0
+        assert "wrote 1 tables" in capsys.readouterr().out
+        assert (out_dir / "e1.txt").exists()
+        assert (out_dir / "e1.json").exists()
+        index = json.loads((out_dir / "index.json").read_text())
+        assert index["e1"]["ok"]
 
 
 class TestParser:

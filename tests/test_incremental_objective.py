@@ -137,11 +137,11 @@ class TestDeltaEngineTrajectory:
                 DEFAULT_REPAIR_OPS,
             )
             outcomes[label] = engine.run(state.copy(), obj)
-        d, l = outcomes["delta"], outcomes["legacy"]
-        assert repr(d.best_objective) == repr(l.best_objective)
-        assert d.accepted == l.accepted
-        assert d.history == l.history
-        assert np.array_equal(d.best_assignment, l.best_assignment)
+        d, leg = outcomes["delta"], outcomes["legacy"]
+        assert repr(d.best_objective) == repr(leg.best_objective)
+        assert d.accepted == leg.accepted
+        assert d.history == leg.history
+        assert np.array_equal(d.best_assignment, leg.best_assignment)
 
     def test_delta_engine_with_cross_check(self):
         state = synthetic_state(seed=6)

@@ -11,7 +11,6 @@ import pytest
 from repro.cluster import ClusterState, Machine, Shard
 from repro.engine import CorpusConfig, ShardedIndex, generate_corpus, generate_queries
 from repro.simulate import (
-    LatencySummary,
     ServingConfig,
     WorkProfile,
     simulate_serving,

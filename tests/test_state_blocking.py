@@ -1,6 +1,5 @@
 """Tests for machine blocking and offline semantics in ClusterState."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import ClusterState, Machine, Shard

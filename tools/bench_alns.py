@@ -24,6 +24,14 @@ Modes
     and the legacy copy-based engine on small instances and fail unless
     best objective, acceptance count and history agree exactly.
 
+``--parallel``
+    Restart fan-out scaling: run K independent SRA restarts through
+    ``repro.parallel.run_sra_restarts`` at 1, 2 and 4 workers, print
+    wall-clock and speedup, and verify the best objective is identical
+    at every worker count.  ``--update`` records the same table in the
+    committed baseline (informational — speedups are hardware-bound by
+    the runner's core count, so they are never gated).
+
 ``--trace-on``
     Run every measurement under an *active* observability bundle
     (``repro.obs``), so the smoke gate bounds the overhead of
@@ -159,10 +167,72 @@ def run_matrix(sizes: dict, budget: float | None, repeats: int = 1) -> dict[str,
     return results
 
 
+#: Restart fan-out measured by --parallel / recorded by --update:
+#: (machines, shards_per_machine), restarts, iterations per restart.
+PARALLEL_SIZE = (50, 6)
+PARALLEL_RESTARTS = 4
+PARALLEL_ITERATIONS = 300
+PARALLEL_WORKERS = (1, 2, 4)
+
+
+def measure_parallel() -> dict[str, dict]:
+    """Wall-clock of a K-restart fan-out at increasing worker counts.
+
+    The best objective must be identical at every worker count (the
+    repro.parallel determinism contract); this function asserts it.
+    """
+    from repro.algorithms.sra_config import SRAConfig
+    from repro.parallel import run_sra_restarts
+
+    m, spm = PARALLEL_SIZE
+    ((name, state),) = list(scaling_suite(sizes=((m, spm),)))
+    config = SRAConfig(alns=AlnsConfig(iterations=PARALLEL_ITERATIONS, seed=SEED))
+    rows: dict[str, dict] = {}
+    serial_wall = None
+    best_seen = None
+    for workers in PARALLEL_WORKERS:
+        t0 = time.perf_counter()
+        report = run_sra_restarts(
+            state, config=config, restarts=PARALLEL_RESTARTS, n_workers=workers
+        )
+        wall = time.perf_counter() - t0
+        if serial_wall is None:
+            serial_wall = wall
+        best = report.best.peak_after
+        if best_seen is None:
+            best_seen = best
+        elif best != best_seen:
+            raise AssertionError(
+                f"parallel determinism violated: workers={workers} "
+                f"best {best!r} != serial best {best_seen!r}"
+            )
+        rows[f"workers={workers}"] = {
+            "instance": name,
+            "restarts": PARALLEL_RESTARTS,
+            "iterations_per_restart": PARALLEL_ITERATIONS,
+            "wall_s": wall,
+            "speedup_vs_serial": serial_wall / wall,
+            "best_peak_after": best,
+        }
+        print(
+            f"{name} restarts={PARALLEL_RESTARTS} workers={workers}: "
+            f"{wall:6.2f}s  {serial_wall / wall:4.2f}x  best={best:.6f}"
+        )
+    return rows
+
+
+def cmd_parallel() -> int:
+    measure_parallel()
+    print("parallel ok: identical best objective at every worker count")
+    return 0
+
+
 def cmd_update(budget: float) -> int:
     results = run_matrix(FULL_SIZES, budget)
     print("smoke baselines (best of 3):")
     smoke = run_matrix(SMOKE_SIZES, budget=None, repeats=3)
+    print("parallel restart scaling:")
+    parallel = measure_parallel()
     baseline = {
         "meta": {
             "description": "ALNS inner-loop throughput baseline (tools/bench_alns.py)",
@@ -170,11 +240,14 @@ def cmd_update(budget: float) -> int:
             "budget_seconds": budget,
             "note": (
                 "its_per_sec is hardware-dependent; the CI smoke gate "
-                "compares against this file with a wide tolerance."
+                "compares against this file with a wide tolerance.  The "
+                "parallel section is informational only (speedup is "
+                "bounded by the measuring machine's core count)."
             ),
         },
         "results": results,
         "smoke": smoke,
+        "parallel": parallel,
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
     print(f"wrote {BASELINE_PATH}")
@@ -223,16 +296,16 @@ def cmd_check() -> int:
                 state.copy(), _objective(state, incremental=incremental)
             )
             runs[label] = out
-        d, l = runs["delta"], runs["legacy"]
+        d, leg = runs["delta"], runs["legacy"]
         if (
-            repr(d.best_objective) != repr(l.best_objective)
-            or d.accepted != l.accepted
-            or d.history != l.history
-            or not np.array_equal(d.best_assignment, l.best_assignment)
+            repr(d.best_objective) != repr(leg.best_objective)
+            or d.accepted != leg.accepted
+            or d.history != leg.history
+            or not np.array_equal(d.best_assignment, leg.best_assignment)
         ):
             failures.append(
                 f"{name}: delta {d.best_objective!r}/{d.accepted} != "
-                f"legacy {l.best_objective!r}/{l.accepted}"
+                f"legacy {leg.best_objective!r}/{leg.accepted}"
             )
         else:
             print(f"{name}: delta == legacy (best={d.best_objective!r})")
@@ -249,6 +322,11 @@ def main(argv: list[str] | None = None) -> int:
     mode.add_argument("--update", action="store_true", help="rewrite BENCH_alns.json")
     mode.add_argument("--smoke", action="store_true", help="CI regression gate")
     mode.add_argument("--check", action="store_true", help="delta-vs-legacy exactness")
+    mode.add_argument(
+        "--parallel",
+        action="store_true",
+        help="restart fan-out scaling at 1/2/4 workers (informational)",
+    )
     parser.add_argument(
         "--budget", type=float, default=2.0, help="anytime budget in seconds"
     )
@@ -280,6 +358,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_smoke(args.tolerance)
         if args.check:
             return cmd_check()
+        if args.parallel:
+            return cmd_parallel()
         results = run_matrix(FULL_SIZES, args.budget)
         if BASELINE_PATH.exists():
             baseline = json.loads(BASELINE_PATH.read_text())["results"]
