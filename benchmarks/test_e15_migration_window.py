@@ -2,7 +2,10 @@
 
 Shape claims: migration derates serving while it runs; the final
 placement improves the tail substantially; the move-frugal λ produces
-fewer moves and a shorter window than the balance-greedy λ.
+fewer moves and a shorter window than the balance-greedy λ.  The
+time-resolved rows add: queries arriving inside the migration window
+see a worse p99 than queries outside it, and the per-wave rows tile
+the window.
 """
 
 from collections import defaultdict
@@ -16,8 +19,12 @@ def test_e15_migration_window(benchmark, save_table):
     )
     save_table("e15", rows, "E15 — serving latency before/during/after migration")
 
+    static = [r for r in rows if r["mode"] == "static"]
+    timeline = [r for r in rows if r["mode"] == "timeline"]
+    assert len(static) + len(timeline) == len(rows)
+
     by_variant = defaultdict(dict)
-    for r in rows:
+    for r in static:
         by_variant[r["variant"]][r["phase"]] = r
     assert len(by_variant) == 2
     for variant, phases in by_variant.items():
@@ -30,3 +37,18 @@ def test_e15_migration_window(benchmark, save_table):
     frugal = by_variant["move-frugal λ=0.30"]["before"]
     assert frugal["moves"] < greedy["moves"]
     assert frugal["window_s"] <= greedy["window_s"] + 1e-9
+
+    tl_by_variant = defaultdict(dict)
+    for r in timeline:
+        tl_by_variant[r["variant"]][r["phase"]] = r
+    assert set(tl_by_variant) == set(by_variant)
+    for variant, phases in tl_by_variant.items():
+        assert "window" in phases and "outside" in phases, variant
+        waves = [p for p in phases if p.startswith("wave")]
+        assert waves, variant
+        # Pooled window rows aggregate exactly the per-wave queries.
+        assert phases["window"]["queries"] == sum(
+            phases[w]["queries"] for w in waves
+        ), variant
+        # The event-resolved claim: the migration window hurts the tail.
+        assert phases["window"]["p99_ms"] > phases["outside"]["p99_ms"], variant

@@ -48,3 +48,15 @@ def test_e18_diurnal(benchmark, save_table, save_figure):
     assert peak_bucket(before)["p99_ms"] > 2.0 * trough_bucket(before)["p99_ms"]
     # Rebalancing fixes the peak hour.
     assert peak_bucket(after)["p99_ms"] < 0.6 * peak_bucket(before)["p99_ms"]
+
+    # The live execution (migration run wave-by-wave on the event
+    # runtime, starting 30% into the day) starts the day exactly on the
+    # imbalanced placement, pays a latency penalty in the buckets where
+    # transfers are in flight, and is rebalanced afterwards.
+    live = by_label.get("live-sra")
+    if live:
+        assert live[0]["p99_ms"] == before[0]["p99_ms"]  # bitwise pre-migration
+        migrating = [r for r in live.values() if r.get("migrating") == "yes"]
+        assert migrating, "migration window fell outside every bucket"
+        for r in migrating:
+            assert r["p99_ms"] >= after[r["bucket"]]["p99_ms"]

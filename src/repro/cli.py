@@ -8,6 +8,10 @@
   print the episode report, optionally write the resulting snapshot and
   the observability artifacts (``--trace out.jsonl``, ``--metrics
   out.json`` — see docs/ARCHITECTURE.md, "Observability");
+* ``runtime``    — serve a snapshot on the unified event runtime
+  (``repro.runtime``): Poisson or diurnal arrivals, synthetic or
+  measured work profiles, and optionally a mid-run SRA rebalance whose
+  migration executes wave-by-wave while queries keep arriving;
 * ``experiment`` — regenerate one experiment table (E1–E20) or, with
   ``--all``, the whole suite — optionally fanned across worker
   processes (``--workers N``) by the ``repro.parallel`` driver, with
@@ -105,6 +109,47 @@ def build_parser() -> argparse.ArgumentParser:
         reb.add_argument("--out", default=None,
                          help="write the rebalanced snapshot here")
         _add_obs_arguments(reb)
+
+    rt = sub.add_parser(
+        "runtime",
+        help="serve a snapshot on the event runtime, optionally migrating mid-run",
+    )
+    rt.add_argument("snapshot", help="snapshot path (JSON); must be fully assigned")
+    rt.add_argument("--duration", type=float, default=60.0,
+                    help="seconds of simulated arrivals")
+    rt.add_argument("--arrival-rate", type=float, default=50.0,
+                    help="mean query arrivals per second")
+    rt.add_argument("--arrival-trace", choices=("poisson", "diurnal"),
+                    default="poisson",
+                    help="homogeneous Poisson stream, or a diurnal "
+                         "(sinusoidal-rate) trace over --duration")
+    rt.add_argument("--peak-ratio", type=float, default=3.0,
+                    help="diurnal peak-to-trough ratio (diurnal trace only)")
+    rt.add_argument("--postings-per-cpu-second", type=float, default=2e5,
+                    help="machine speed per unit of CPU capacity")
+    rt.add_argument("--profile", default=None, metavar="PATH",
+                    help="measured WorkProfile JSON; a synthetic profile "
+                         "matching the snapshot's CPU demand is derived "
+                         "when omitted")
+    rt.add_argument("--noise", type=float, default=0.25,
+                    help="lognormal sigma of the synthetic profile's "
+                         "per-query work (0 = deterministic)")
+    rt.add_argument("--seed", type=int, default=0)
+    rt.add_argument("--rebalance-at", type=float, default=None, metavar="T",
+                    help="run a rebalance policy check at simulated time T "
+                         "and execute the resulting migration wave-by-wave")
+    rt.add_argument("--rebalance-policy", choices=("always", "threshold"),
+                    default="always",
+                    help="rebalance unconditionally at T, or only if peak "
+                         "utilization exceeds --rebalance-threshold")
+    rt.add_argument("--rebalance-threshold", type=float, default=0.95)
+    rt.add_argument("--iterations", type=int, default=500,
+                    help="SRA search iterations for the episode")
+    rt.add_argument("--transfer-overhead", type=float, default=0.3,
+                    help="serving-speed fraction lost while a NIC transfers")
+    rt.add_argument("--bandwidth", type=float, default=1.25e9,
+                    help="per-machine NIC bandwidth in bytes/second")
+    _add_obs_arguments(rt)
 
     exp = sub.add_parser("experiment", help="regenerate experiment tables")
     exp.add_argument("id", nargs="?", default=None,
@@ -263,6 +308,116 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
     return 0 if report.feasible else 1
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    # Local imports: the runtime stack pulls in the simulation layers,
+    # which the other subcommands don't need at startup.
+    import numpy as np
+
+    from repro.algorithms import SRA as _SRA
+    from repro.algorithms import AlnsConfig as _AlnsConfig
+    from repro.algorithms import SRAConfig as _SRAConfig
+    from repro.migration import BandwidthModel
+    from repro.runtime import (
+        ClusterHandle,
+        QueryArrivalProcess,
+        RebalanceController,
+        Runtime,
+        ServingFleet,
+        synthetic_profile,
+    )
+    from repro.simulate import WorkProfile, diurnal_rate, nonhomogeneous_arrivals, summarize
+
+    state = load_json(args.snapshot)
+    if not state.is_fully_assigned():
+        print("runtime: snapshot must be fully assigned", file=sys.stderr)
+        return 2
+    if args.profile:
+        profile = WorkProfile.load_json(args.profile)
+        if profile.num_shards != state.num_shards:
+            print(
+                f"runtime: profile covers {profile.num_shards} shards, "
+                f"snapshot has {state.num_shards}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        profile = synthetic_profile(
+            state,
+            queries_per_second=args.arrival_rate,
+            postings_per_cpu_second=args.postings_per_cpu_second,
+            noise=args.noise,
+            seed=args.seed,
+        )
+
+    rng = np.random.default_rng(args.seed)
+    if args.arrival_trace == "diurnal":
+        rate = diurnal_rate(
+            args.arrival_rate, peak_ratio=args.peak_ratio, period=args.duration
+        )
+        times = nonhomogeneous_arrivals(rate, args.duration, seed=args.seed)
+    else:
+        n = rng.poisson(args.arrival_rate * args.duration)
+        times = np.sort(rng.uniform(0.0, args.duration, size=n))
+    query_rows = rng.integers(0, profile.num_queries, size=times.size)
+
+    cpu_idx = state.schema.index("cpu") if "cpu" in state.schema.names else 0
+    speeds = state.capacity[:, cpu_idx] * args.postings_per_cpu_second
+
+    with _ObsSession(args):
+        fleet = ServingFleet(speeds)
+        location = state.assignment_view().copy()
+        arrivals = QueryArrivalProcess(
+            fleet, location, profile.work, np.arange(state.num_shards), times, query_rows
+        )
+        runtime = Runtime()
+        runtime.add(arrivals)
+        controller = None
+        if args.rebalance_at is not None:
+            handle = ClusterHandle(state)
+            controller = RebalanceController(
+                handle,
+                _SRA(
+                    _SRAConfig(
+                        alns=_AlnsConfig(iterations=args.iterations, seed=args.seed)
+                    )
+                ),
+                policy=args.rebalance_policy,
+                threshold=args.rebalance_threshold,
+                execution="simulated",
+                fleet=fleet,
+                location=location,
+                bandwidth=BandwidthModel(bandwidth=args.bandwidth),
+                transfer_overhead=args.transfer_overhead,
+                trigger_at=args.rebalance_at,
+            )
+            runtime.add(controller)
+        end = runtime.run()
+        fleet.flush()
+
+        lat = arrivals.latencies()
+        window = max(args.duration, float(times[-1])) if times.size else args.duration
+        busy = fleet.busy_fraction(window)
+        print(f"queries           {arrivals.queries_completed}")
+        print(f"simulated end (s) {end:.3f}")
+        if lat.size:
+            summary = summarize(lat)
+            print(f"latency p50 (ms)  {1e3 * summary.p50:.3f}")
+            print(f"latency p95 (ms)  {1e3 * summary.p95:.3f}")
+            print(f"latency p99 (ms)  {1e3 * summary.p99:.3f}")
+        print(f"peak busy         {float(busy.max()):.4f}")
+        if controller is not None:
+            for ep in controller.episodes:
+                print(
+                    f"rebalance at t={ep['time']:.2f}: feasible={ep['feasible']} "
+                    f"moves={ep['moves']} waves={ep['waves']} "
+                    f"bytes={ep['bytes_moved']:.3g} "
+                    f"window={ep['window_seconds']:.3f}s"
+                )
+            if not controller.episodes:
+                print("rebalance         not triggered")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, is_full_run, print_table
     from repro.parallel import run_experiments, save_tables
@@ -303,6 +458,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_info(args)
     if args.command in ("run", "rebalance"):
         return _cmd_rebalance(args)
+    if args.command == "runtime":
+        return _cmd_runtime(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

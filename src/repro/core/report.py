@@ -87,6 +87,10 @@ class RebalanceReport:
             ("waves", str(self.migration.num_waves)),
             ("bytes moved", f"{self.migration.total_bytes:.3g}"),
             ("makespan (s)", f"{self.migration.makespan_seconds:.3g}"),
+            (
+                "wave seconds",
+                " ".join(f"{s:.3g}" for s in self.migration.wave_seconds) or "-",
+            ),
             ("borrowed", str(self.borrowed)),
             ("returned", str(self.returned)),
             ("exchanged", str(self.exchanged)),

@@ -20,6 +20,9 @@ class MigrationSummary:
     makespan_seconds: float
     direct_feasible: bool
     feasible: bool
+    #: Per-wave durations (sums to the makespan); the migration
+    #: executor occupies exactly these intervals on the runtime clock.
+    wave_seconds: tuple[float, ...] = ()
 
     def row(self) -> dict[str, float]:
         return {
@@ -50,4 +53,5 @@ def summarize_plan(
         makespan_seconds=cost.makespan_seconds,
         direct_feasible=plan.direct_feasible,
         feasible=plan.feasible,
+        wave_seconds=cost.wave_seconds,
     )

@@ -46,15 +46,35 @@ class BandwidthModel:
     def __post_init__(self) -> None:
         check_positive("bandwidth", self.bandwidth)
 
-    def wave_duration(self, wave, num_machines: int) -> float:
-        """Duration of one wave: busiest NIC's transfer time."""
+    def machine_wave_seconds(self, wave, num_machines: int) -> np.ndarray:
+        """(m,) seconds each machine's NIC is busy during one wave.
+
+        Full duplex: a machine sending and receiving concurrently is busy
+        for the *larger* of the two transfer times, not their sum.  The
+        wave's duration is the fleet maximum of these (the wave is a
+        barrier on its busiest NIC), so per-machine busy seconds never
+        exceed the wave duration — the accounting ``cost`` and the
+        serving-derating models share.
+        """
         out_bytes = np.zeros(num_machines)
         in_bytes = np.zeros(num_machines)
         for mv in wave:
             out_bytes[mv.src] += mv.bytes
             in_bytes[mv.dst] += mv.bytes
-        busiest = max(float(out_bytes.max(initial=0.0)), float(in_bytes.max(initial=0.0)))
-        return busiest / self.bandwidth
+        return np.maximum(out_bytes, in_bytes) / self.bandwidth
+
+    def machine_busy_seconds(self, schedule: Schedule, num_machines: int) -> np.ndarray:
+        """(m,) total NIC-busy seconds per machine across all waves."""
+        seconds = np.zeros(num_machines)
+        for wave in schedule.waves:
+            seconds += self.machine_wave_seconds(wave, num_machines)
+        return seconds
+
+    def wave_duration(self, wave, num_machines: int) -> float:
+        """Duration of one wave: busiest NIC's transfer time."""
+        return float(
+            self.machine_wave_seconds(wave, num_machines).max(initial=0.0)
+        )
 
     def cost(self, schedule: Schedule, num_machines: int) -> MigrationCost:
         """Full cost summary for *schedule*."""

@@ -26,9 +26,10 @@ from typing import Literal
 
 from repro._validation import check_non_negative, check_positive
 from repro.algorithms import Rebalancer
-from repro.cluster import ClusterState, ExchangeLedger, settle_fleet
+from repro.cluster import ClusterState
 from repro.online.drift import PopularityDrift
-from repro.workloads import make_exchange_machines
+from repro.runtime.kernel import Runtime
+from repro.runtime.processes import ClusterHandle, DriftProcess, RebalanceController
 
 __all__ = ["EpochReport", "OnlineSimulator"]
 
@@ -78,54 +79,53 @@ class OnlineSimulator:
         check_non_negative("exchange_budget", self.exchange_budget)
 
     def run(self, state: ClusterState, epochs: int) -> list[EpochReport]:
-        """Simulate *epochs* drift/rebalance cycles starting from *state*."""
+        """Simulate *epochs* drift/rebalance cycles starting from *state*.
+
+        Facade over :mod:`repro.runtime`: drift and rebalancing run as
+        processes on an event-heap runtime (one epoch per simulated
+        second), with the controller in ``"instant"`` execution mode —
+        the settle-at-the-decision-instant semantics this class has
+        always had, so trajectories are identical to the historical
+        epoch loop (``tests/test_runtime.py`` pins this).  Wire a
+        :class:`~repro.runtime.processes.RebalanceController` with
+        ``execution="simulated"`` directly for wave-resolved episodes.
+        """
         check_positive("epochs", epochs)
-        current = state
+        handle = ClusterHandle(state)
+        controller = RebalanceController(
+            handle,
+            self.rebalancer,
+            policy=self.policy,
+            threshold=self.threshold,
+            exchange_budget=self.exchange_budget,
+            execution="instant",
+        )
+        drift_proc = DriftProcess(handle, self.drift, epochs=epochs)
         cumulative = 0.0
         reports: list[EpochReport] = []
-        for epoch in range(epochs):
-            current = self.drift.step(current)
-            peak_before = current.peak_utilization()
-            should = self.policy == "always" or (
-                self.policy == "threshold" and peak_before > self.threshold
-            )
-            rebalanced = False
-            feasible = True
-            moves = 0
-            moved_bytes = 0.0
-            if should:
-                grown, ledger = ExchangeLedger.borrow(
-                    current, make_exchange_machines(current, self.exchange_budget)
-                )
-                result = self.rebalancer.rebalance(grown, ledger)
-                if result.feasible:
-                    # Keep only the in-service machine set: the episode's
-                    # settlement returns machines; we realize that by
-                    # projecting the assignment back onto the original
-                    # fleet when no borrowed machine retained shards, and
-                    # keeping the augmented fleet otherwise.
-                    final = grown.copy()
-                    final.apply_assignment(result.target_assignment)
-                    current, _, _ = settle_fleet(final, ledger)
-                    rebalanced = True
-                    moves = result.num_moves
-                    moved_bytes = (
-                        result.plan.schedule.total_bytes() if result.plan else 0.0
-                    )
-                else:
-                    feasible = False
-            cumulative += moved_bytes
+
+        def on_epoch(rt: Runtime, epoch: int) -> None:
+            nonlocal cumulative
+            peak_before = handle.state.peak_utilization()
+            outcome = controller.maybe_rebalance(rt)
+            cumulative += outcome.bytes_moved
             reports.append(
                 EpochReport(
                     epoch=epoch,
                     peak_before=peak_before,
-                    peak_after=current.peak_utilization(),
-                    rebalanced=rebalanced,
-                    feasible=feasible,
-                    moves=moves,
-                    bytes_moved=moved_bytes,
+                    peak_after=handle.state.peak_utilization(),
+                    rebalanced=outcome.attempted and outcome.feasible,
+                    feasible=outcome.feasible,
+                    moves=outcome.moves,
+                    bytes_moved=outcome.bytes_moved,
                     cumulative_bytes=cumulative,
                 )
             )
+
+        drift_proc.subscribe(on_epoch)
+        runtime = Runtime()
+        runtime.add(drift_proc)
+        runtime.add(controller)
+        runtime.run()
         return reports
 

@@ -1,0 +1,59 @@
+"""Synthetic work profiles derived from a cluster snapshot.
+
+The measured :class:`~repro.simulate.workprofile.WorkProfile` is the
+gold standard (real postings traversed per query per shard), but the
+``repro runtime`` CLI must also run from a bare cluster snapshot with no
+engine attached.  :func:`synthetic_profile` builds a profile whose
+*expected* per-machine utilization under the requested query rate equals
+the snapshot's recorded CPU loads — so the runtime's busy fractions line
+up with ``state.utilization()`` up to sampling noise, and hotspots in
+the snapshot appear as hotspots in the simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_non_negative, check_positive
+from repro.cluster import ClusterState
+from repro.simulate.workprofile import WorkProfile
+
+__all__ = ["synthetic_profile"]
+
+
+def synthetic_profile(
+    state: ClusterState,
+    *,
+    queries_per_second: float,
+    postings_per_cpu_second: float,
+    num_queries: int = 64,
+    noise: float = 0.25,
+    seed: int = 0,
+) -> WorkProfile:
+    """Build a per-query work matrix matching *state*'s CPU demand.
+
+    A shard with CPU demand ``d`` (capacity units) should keep its host
+    busy for a fraction ``d / capacity`` of every second.  With machine
+    speed ``capacity * postings_per_cpu_second`` and ``queries_per_second``
+    arrivals, that pins the expected per-query work on shard ``j`` to
+    ``demand[j] * postings_per_cpu_second / queries_per_second``; rows
+    are that expectation times per-cell lognormal noise with unit mean
+    (``noise`` is the log-space sigma, 0 for a deterministic profile).
+    """
+    check_positive("queries_per_second", queries_per_second)
+    check_positive("postings_per_cpu_second", postings_per_cpu_second)
+    check_positive("num_queries", num_queries)
+    check_non_negative("noise", noise)
+    cpu_idx = state.schema.index("cpu") if "cpu" in state.schema.names else 0
+    per_query = (
+        state.demand[:, cpu_idx] * postings_per_cpu_second / queries_per_second
+    )
+    work = np.tile(per_query, (int(num_queries), 1))
+    if noise > 0:
+        rng = np.random.default_rng(seed)
+        # mean-1 lognormal: E[exp(N(-s^2/2, s^2))] = 1
+        factors = rng.lognormal(
+            mean=-0.5 * noise * noise, sigma=noise, size=work.shape
+        )
+        work = work * factors
+    return WorkProfile(work)

@@ -3,7 +3,9 @@
 from repro.simulate.des import ServingConfig, ServingReport, simulate_serving
 from repro.simulate.migration_load import (
     MigrationWindowReport,
+    TimelineWindowReport,
     migration_background_load,
+    simulate_migration_timeline,
     simulate_migration_window,
 )
 from repro.simulate.latency import LatencySummary, summarize
@@ -21,6 +23,8 @@ __all__ = [
     "migration_background_load",
     "MigrationWindowReport",
     "simulate_migration_window",
+    "TimelineWindowReport",
+    "simulate_migration_timeline",
     "RoutingPolicy",
     "simulate_routed_serving",
     "diurnal_rate",

@@ -14,12 +14,22 @@ The model:
 
 Fan-out over FCFS queues is what turns one hot machine into a fleet-wide
 p99 problem, which is experiment E8's subject.
+
+Since the :mod:`repro.runtime` refactor this module is a **facade**: the
+queueing itself runs on the shared event-heap kernel
+(:class:`~repro.runtime.machines.ServingFleet` fed by a
+:class:`~repro.runtime.serving.QueryArrivalProcess`).  At constant
+machine speeds the fleet performs the identical float operations in the
+identical order as the original single-pass loop, so ``simulate_serving``
+is bit-for-bit its historical self (``tests/test_runtime.py`` pins
+this); what the runtime adds is everything the old loop could not do —
+speeds that change mid-run while a migration wave saturates a NIC.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +37,9 @@ from repro import obs
 from repro._validation import check_fraction, check_positive
 from repro.cluster import ClusterState
 from repro.obs.metrics import LATENCY_EDGES_S, UTILIZATION_EDGES
+from repro.runtime.kernel import Runtime
+from repro.runtime.machines import ServingFleet
+from repro.runtime.serving import QueryArrivalProcess
 from repro.simulate.latency import LatencySummary, summarize
 from repro.simulate.workprofile import WorkProfile
 
@@ -140,22 +153,10 @@ def simulate_serving(
     if not state.is_fully_assigned():
         raise ValueError("simulation requires a fully assigned state")
 
-    cpu_idx = state.schema.index("cpu") if "cpu" in state.schema.names else 0
-    speed = state.capacity[:, cpu_idx] * cfg.postings_per_cpu_second
-    for mid, frac in cfg.background_load.items():
-        if not 0 <= mid < state.num_machines:
-            raise ValueError(f"background_load references unknown machine {mid}")
-        speed[mid] = speed[mid] * (1.0 - frac)
+    speed = _effective_speeds(state, cfg)
 
     rng = np.random.default_rng(cfg.seed)
-    if arrival_times is None:
-        num_arrivals = rng.poisson(cfg.arrival_rate * cfg.duration)
-        arrival_times = np.sort(rng.uniform(0.0, cfg.duration, size=num_arrivals))
-    else:
-        arrival_times = np.sort(np.asarray(arrival_times, dtype=np.float64))
-        if arrival_times.size and arrival_times[0] < 0:
-            raise ValueError("arrival_times must be non-negative")
-        num_arrivals = int(arrival_times.size)
+    arrival_times, num_arrivals = _sample_arrivals(rng, cfg, arrival_times)
     query_rows = rng.integers(0, profile.num_queries, size=num_arrivals)
 
     o = obs.current()
@@ -168,35 +169,27 @@ def simulate_serving(
     )
     sim_span.__enter__()
 
-    assign = state.assignment_view()
-    # Machine state: next time each (single-server FCFS) machine is free.
-    free_at = np.zeros(state.num_machines)
-    busy_time = np.zeros(state.num_machines)
-
-    latencies = np.empty(num_arrivals)
-    # Process queries in arrival order.  FCFS per machine with all tasks
-    # of a query enqueued at its arrival instant means each machine
-    # serves tasks in global arrival order — so a single pass in arrival
-    # order, tracking per-machine free time, is an exact simulation.
-    for qi in range(num_arrivals):
-        t = arrival_times[qi]
-        row = profile.work[query_rows[qi]]
-        finish_max = t
-        for j in range(state.num_shards):
-            w = row[mapping[j]]
-            if w <= 0:
-                continue
-            m = assign[j]
-            start = max(t, free_at[m])
-            service = w / speed[m]
-            free_at[m] = start + service
-            busy_time[m] += service
-            if free_at[m] > finish_max:
-                finish_max = free_at[m]
-        latencies[qi] = finish_max - t
+    # Run the arrival process on the shared event-heap kernel.  Speeds
+    # are constant here, so the fleet's arithmetic reduces to exactly the
+    # historical single-pass loop (see the bitwise contract in
+    # repro.runtime.machines).
+    fleet = ServingFleet(speed)
+    arrivals = QueryArrivalProcess(
+        fleet,
+        state.assignment_view(),
+        profile.work,
+        mapping,
+        arrival_times,
+        query_rows,
+    )
+    runtime = Runtime()
+    runtime.add(arrivals)
+    runtime.run()
+    fleet.flush()
+    latencies = arrivals.latencies()
 
     busy_fraction = _busy_fraction(
-        busy_time, arrival_times, cfg, state.num_machines
+        fleet.busy_time(), arrival_times, cfg, state.num_machines
     )
     report = ServingReport(
         latency=summarize(latencies) if num_arrivals else _empty_summary(),
@@ -224,6 +217,47 @@ def simulate_serving(
         sim_span.set("p99_seconds", report.latency.p99)
     sim_span.__exit__(None, None, None)
     return report
+
+
+def _effective_speeds(state: ClusterState, cfg: ServingConfig) -> np.ndarray:
+    """Per-machine serving speed with background-load derating applied.
+
+    Re-validates each background fraction at use time: ``ServingConfig``
+    checks them at construction, but the mapping object itself is
+    mutable, and a fraction at or above 1.0 would silently produce a
+    zero-or-negative speed (an instantly diverging queue) rather than an
+    error.  Shared by ``simulate_serving`` and the time-resolved
+    migration window so both modes reject the same bad inputs.
+    """
+    cpu_idx = state.schema.index("cpu") if "cpu" in state.schema.names else 0
+    speed = state.capacity[:, cpu_idx] * cfg.postings_per_cpu_second
+    for mid, frac in cfg.background_load.items():
+        if not 0 <= mid < state.num_machines:
+            raise ValueError(f"background_load references unknown machine {mid}")
+        check_fraction(f"background_load[{mid}]", frac)
+        if frac >= 1.0:
+            raise ValueError(f"background_load[{mid}] must be < 1")
+        speed[mid] = speed[mid] * (1.0 - frac)
+    return speed
+
+
+def _sample_arrivals(
+    rng: np.random.Generator,
+    cfg: ServingConfig,
+    arrival_times: np.ndarray | None,
+) -> Tuple[np.ndarray, int]:
+    """Arrival times and count: the configured Poisson stream, or a
+    sorted/validated explicit trace.  RNG draw order is part of the
+    reproducibility contract — poisson count, then uniform times — and
+    callers draw query rows immediately after."""
+    if arrival_times is None:
+        num_arrivals = rng.poisson(cfg.arrival_rate * cfg.duration)
+        times = np.sort(rng.uniform(0.0, cfg.duration, size=num_arrivals))
+        return times, num_arrivals
+    times = np.sort(np.asarray(arrival_times, dtype=np.float64))
+    if times.size and times[0] < 0:
+        raise ValueError("arrival_times must be non-negative")
+    return times, int(times.size)
 
 
 def _busy_fraction(

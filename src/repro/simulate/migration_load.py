@@ -23,10 +23,29 @@ import numpy as np
 from repro._validation import check_fraction, check_positive
 from repro.cluster import ClusterState
 from repro.migration import BandwidthModel, PlanResult
-from repro.simulate.des import ServingConfig, ServingReport, simulate_serving
+from repro.runtime.kernel import Runtime
+from repro.runtime.machines import ServingFleet
+from repro.runtime.migration import MigrationExecutor
+from repro.runtime.serving import QueryArrivalProcess
+from repro.simulate.des import (
+    ServingConfig,
+    ServingReport,
+    _busy_fraction,
+    _effective_speeds,
+    _empty_summary,
+    _sample_arrivals,
+    simulate_serving,
+)
+from repro.simulate.latency import summarize
 from repro.simulate.workprofile import WorkProfile
 
-__all__ = ["migration_background_load", "MigrationWindowReport", "simulate_migration_window"]
+__all__ = [
+    "migration_background_load",
+    "MigrationWindowReport",
+    "simulate_migration_window",
+    "TimelineWindowReport",
+    "simulate_migration_timeline",
+]
 
 
 def migration_background_load(
@@ -40,16 +59,24 @@ def migration_background_load(
 
     Returns ``{machine: fraction}`` for machines with non-zero transfer
     activity; fractions are in [0, transfer_overhead].
+
+    Per-machine busy seconds come from the **same per-wave accounting**
+    that :meth:`BandwidthModel.cost` uses for the makespan: within a
+    wave, a machine's NIC is busy for ``max(bytes_out, bytes_in) /
+    bandwidth`` (full duplex), and wave busy times sum across waves.
+    Summing ``bytes / bandwidth`` per move on both endpoints — the old
+    model — double-charged machines that send and receive in the same
+    wave and overstated NIC time whenever a machine's transfers within a
+    wave actually run back-to-back on one duplex NIC, which could push
+    ``busy_fraction`` past 1 (clamped) for busy dual-role machines while
+    the makespan in the denominator said otherwise.
     """
     check_fraction("transfer_overhead", transfer_overhead)
     model = bandwidth or BandwidthModel()
     cost = model.cost(plan.schedule, num_machines)
     if cost.makespan_seconds <= 0:
         return {}
-    transfer_seconds = np.zeros(num_machines)
-    for mv in plan.schedule.all_moves():
-        transfer_seconds[mv.src] += mv.bytes / model.bandwidth
-        transfer_seconds[mv.dst] += mv.bytes / model.bandwidth
+    transfer_seconds = model.machine_busy_seconds(plan.schedule, num_machines)
     busy_fraction = np.minimum(transfer_seconds / cost.makespan_seconds, 1.0)
     out = {
         int(m): float(transfer_overhead * busy_fraction[m])
@@ -133,4 +160,152 @@ def simulate_migration_window(
     makespan = model.cost(plan.schedule, initial.num_machines).makespan_seconds
     return MigrationWindowReport(
         before=before, during=during, after=after, makespan_seconds=makespan
+    )
+
+
+@dataclass(frozen=True)
+class TimelineWindowReport:
+    """One time-resolved serving run with the migration executed mid-stream.
+
+    Unlike :class:`MigrationWindowReport` (three separate runs with a
+    window-averaged derating), this is a single arrival stream: waves
+    derate their endpoint NICs only while transfers are actually in
+    flight, and each shard flips to its destination the instant its wave
+    completes.  ``serving`` always carries raw arrival/latency arrays so
+    latency can be bucketed per wave.
+    """
+
+    serving: ServingReport
+    migration_start: float
+    migration_end: float
+    wave_intervals: tuple[tuple[float, float], ...]
+    waves_executed: int
+    bytes_transferred: float
+    peak_transient_utilization: float
+
+    def rows(self) -> list[dict]:
+        """Per-wave latency table plus pooled window/outside rows."""
+        arrivals = self.serving.raw_arrivals
+        latencies = self.serving.raw_latencies
+        assert arrivals is not None and latencies is not None
+        out = []
+        in_window = (arrivals >= self.migration_start) & (
+            arrivals < self.migration_end
+        )
+        buckets: list[tuple[str, np.ndarray]] = [
+            (f"wave{i}", (arrivals >= lo) & (arrivals < hi))
+            for i, (lo, hi) in enumerate(self.wave_intervals)
+        ]
+        buckets.append(("window", in_window))
+        buckets.append(("outside", ~in_window))
+        for phase, mask in buckets:
+            picked = latencies[mask]
+            lat = summarize(picked) if picked.size else _empty_summary()
+            out.append(
+                {
+                    "phase": phase,
+                    "queries": int(picked.size),
+                    "p50_ms": 1e3 * lat.p50,
+                    "p95_ms": 1e3 * lat.p95,
+                    "p99_ms": 1e3 * lat.p99,
+                    "mean_ms": 1e3 * lat.mean,
+                }
+            )
+        return out
+
+
+def simulate_migration_timeline(
+    initial: ClusterState,
+    final_assignment: np.ndarray,
+    plan: PlanResult,
+    profile: WorkProfile,
+    config: ServingConfig,
+    *,
+    bandwidth: BandwidthModel | None = None,
+    transfer_overhead: float = 0.3,
+    migration_start: float = 0.0,
+    shard_to_engine_shard: list[int] | None = None,
+    arrival_times: np.ndarray | None = None,
+) -> TimelineWindowReport:
+    """Serve one arrival stream while the plan executes wave-by-wave.
+
+    The serving fleet, the migration executor, and the shared
+    shard→machine array all live on one event-heap runtime: queries
+    arriving during wave *k* see exactly the machines wave *k* is
+    derating and exactly the placements earlier waves already landed.
+    This is the time-resolved upgrade of
+    :func:`simulate_migration_window`, which stays available as the
+    static (window-averaged) view.
+
+    ``config.background_load`` still applies, as a *static* base
+    derating on top of which transfer derating comes and goes.
+    """
+    check_positive("transfer_overhead", transfer_overhead)
+    if not plan.feasible:
+        raise ValueError("cannot execute an infeasible plan on the timeline")
+    mapping = (
+        np.arange(initial.num_shards)
+        if shard_to_engine_shard is None
+        else np.asarray(shard_to_engine_shard, dtype=np.int64)
+    )
+    if mapping.shape != (initial.num_shards,):
+        raise ValueError("shard_to_engine_shard must map every cluster shard")
+    if np.any((mapping < 0) | (mapping >= profile.num_shards)):
+        raise ValueError("shard_to_engine_shard references unknown engine shards")
+    if not initial.is_fully_assigned():
+        raise ValueError("simulation requires a fully assigned state")
+    model = bandwidth or BandwidthModel()
+    speed = _effective_speeds(initial, config)
+
+    rng = np.random.default_rng(config.seed)
+    arrival_times, num_arrivals = _sample_arrivals(rng, config, arrival_times)
+    query_rows = rng.integers(0, profile.num_queries, size=num_arrivals)
+
+    fleet = ServingFleet(speed)
+    location = initial.assignment_view().copy()
+    arrivals = QueryArrivalProcess(
+        fleet, location, profile.work, mapping, arrival_times, query_rows
+    )
+    executor = MigrationExecutor(
+        schedule=plan.schedule,
+        fleet=fleet,
+        location=location,
+        loads=initial.loads.copy(),
+        capacity=initial.capacity,
+        demand=initial.demand,
+        model=model,
+        transfer_overhead=transfer_overhead,
+        start_at=migration_start,
+    )
+    runtime = Runtime()
+    runtime.add(arrivals)
+    runtime.add(executor)
+    runtime.run()
+    fleet.flush()
+
+    target = np.asarray(final_assignment, dtype=np.int64)
+    if not np.array_equal(location, target):
+        raise RuntimeError(
+            "executed schedule did not land the final assignment; "
+            "the plan and final_assignment disagree"
+        )
+    latencies = arrivals.latencies()
+    busy_fraction = _busy_fraction(
+        fleet.busy_time(), arrival_times, config, initial.num_machines
+    )
+    serving = ServingReport(
+        latency=summarize(latencies) if num_arrivals else _empty_summary(),
+        machine_busy_fraction=busy_fraction,
+        queries_completed=int(num_arrivals),
+        raw_arrivals=arrival_times.copy(),
+        raw_latencies=latencies,
+    )
+    return TimelineWindowReport(
+        serving=serving,
+        migration_start=migration_start,
+        migration_end=executor.migration_end,
+        wave_intervals=tuple(executor.wave_intervals),
+        waves_executed=len(executor.wave_intervals),
+        bytes_transferred=executor.bytes_transferred,
+        peak_transient_utilization=executor.peak_transient_utilization,
     )

@@ -218,6 +218,60 @@ class TestExperiment:
         assert index["e1"]["ok"]
 
 
+class TestRuntime:
+    def test_serving_only_run(self, snapshot, capsys):
+        code = main(
+            [
+                "runtime", str(snapshot),
+                "--duration", "5", "--arrival-rate", "20", "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "queries" in out and "latency p99" in out and "peak busy" in out
+
+    def test_diurnal_trace(self, snapshot, capsys):
+        code = main(
+            [
+                "runtime", str(snapshot),
+                "--duration", "5", "--arrival-rate", "20",
+                "--arrival-trace", "diurnal", "--peak-ratio", "4.0", "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "queries" in capsys.readouterr().out
+
+    def test_mid_run_rebalance_with_trace(self, snapshot, tmp_path, capsys):
+        trace = tmp_path / "rt.jsonl"
+        code = main(
+            [
+                "runtime", str(snapshot),
+                "--duration", "8", "--arrival-rate", "20", "--seed", "2",
+                "--rebalance-at", "2", "--iterations", "80",
+                "--bandwidth", "2e5",
+                "--trace", str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rebalance at t=2.00" in out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert "runtime.run" in names
+        assert "runtime.wave.start" in names
+        assert "runtime.migration.complete" in names
+
+    def test_measured_profile_shard_mismatch_errors(self, snapshot, tmp_path, capsys):
+        from repro.simulate import WorkProfile
+        import numpy as np
+
+        bad = tmp_path / "profile.json"
+        WorkProfile(np.ones((3, 2))).save_json(bad)
+        code = main(["runtime", str(snapshot), "--profile", str(bad)])
+        assert code == 2
+        assert "profile covers" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
