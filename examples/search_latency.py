@@ -53,7 +53,7 @@ def main() -> None:
     demand = np.stack([s.demand for s in shards])
     capacity = demand.sum(axis=0) / (num_machines * 0.75)
     machines = Machine.homogeneous(
-        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity)}
+        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity, strict=True)}
     )
     rng = np.random.default_rng(7)
     assign = rng.integers(0, num_machines, size=len(shards))

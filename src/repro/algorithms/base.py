@@ -144,6 +144,7 @@ def finalize_result(
         peak_after=final.peak_utilization(),
         plan=plan,
         settlement=settlement,
+        # repro: allow-wall-clock (runtime_seconds reporting)
         runtime_seconds=time.perf_counter() - started_at,
         iterations=iterations,
         history=history or [],

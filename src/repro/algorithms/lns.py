@@ -196,32 +196,30 @@ class AlnsEngine:
         history: list[float] = [cur_obj]
         accepted = 0
         vetoed = 0
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow-wall-clock (runtime reporting)
         it = 0
         use_delta = cfg.delta_evaluation
 
-        run_span = tracer.span(
+        with tracer.span(
             "alns.run",
             iterations=cfg.iterations,
             seed=cfg.seed,
             initial_objective=cur_obj,
-        )
-        run_span.__enter__()
-        try:
-            it, accepted, vetoed, best_assignment, best_obj, cur_obj = self._search(
-                cfg, rng, current, objective, best_filter,
-                best_assignment, best_obj, cur_obj, temperature,
-                q_min, q_max, d_weights, r_weights, d_scores, r_scores,
-                d_uses, r_uses, history, started, use_delta,
-                tracer, trace_on,
-            )
-        finally:
-            run_span.set("iterations_run", it)
-            run_span.set("accepted", accepted)
-            run_span.set("rejected_by_filter", vetoed)
-            if math.isfinite(best_obj):
-                run_span.set("best_objective", best_obj)
-            run_span.__exit__(None, None, None)
+        ) as run_span:
+            try:
+                it, accepted, vetoed, best_assignment, best_obj, cur_obj = self._search(
+                    cfg, rng, current, objective, best_filter,
+                    best_assignment, best_obj, cur_obj, temperature,
+                    q_min, q_max, d_weights, r_weights, d_scores, r_scores,
+                    d_uses, r_uses, history, started, use_delta,
+                    tracer, trace_on,
+                )
+            finally:
+                run_span.set("iterations_run", it)
+                run_span.set("accepted", accepted)
+                run_span.set("rejected_by_filter", vetoed)
+                if math.isfinite(best_obj):
+                    run_span.set("best_objective", best_obj)
 
         metrics.counter("alns.iterations").inc(it)
         metrics.counter("alns.accepted").inc(accepted)
@@ -231,10 +229,10 @@ class AlnsEngine:
 
         weights = {
             f"destroy:{op.__name__}": float(w)
-            for op, w in zip(self.destroy_ops, d_weights)
+            for op, w in zip(self.destroy_ops, d_weights, strict=True)
         }
         weights.update(
-            {f"repair:{op.__name__}": float(w) for op, w in zip(self.repair_ops, r_weights)}
+            {f"repair:{op.__name__}": float(w) for op, w in zip(self.repair_ops, r_weights, strict=True)}
         )
         return AlnsOutcome(
             best_assignment=best_assignment,
@@ -282,6 +280,7 @@ class AlnsEngine:
         it = 0
 
         for it in range(1, cfg.iterations + 1):
+            # repro: allow-wall-clock (real-time search budget)
             if cfg.time_limit is not None and time.perf_counter() - started > cfg.time_limit:
                 break
             di = _roulette(rng, d_weights)
@@ -373,11 +372,11 @@ class AlnsEngine:
                         it=it,
                         destroy={
                             op.__name__: float(w)
-                            for op, w in zip(self.destroy_ops, d_weights)
+                            for op, w in zip(self.destroy_ops, d_weights, strict=True)
                         },
                         repair={
                             op.__name__: float(w)
-                            for op, w in zip(self.repair_ops, r_weights)
+                            for op, w in zip(self.repair_ops, r_weights, strict=True)
                         },
                     )
 

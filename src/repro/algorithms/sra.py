@@ -77,7 +77,7 @@ class SRA(Rebalancer):
                 n_workers=cfg.alns.n_workers,
             )
             return report.best
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow-wall-clock (runtime reporting)
         required = ledger.required_returns if ledger is not None else 0
 
         objective = Objective(

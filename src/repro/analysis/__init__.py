@@ -1,0 +1,40 @@
+"""repro.analysis — AST invariant linter and typing ratchet.
+
+Zero-dependency static analysis for the invariants this reproduction's
+credibility rests on (docs/ARCHITECTURE.md, "Static analysis &
+invariants"):
+
+* a rule engine (:class:`Rule`, :func:`register`, :func:`lint_paths`)
+  walking stdlib ASTs, with line-scoped ``# repro: allow-<rule>``
+  suppressions and a committed ratchet baseline (new violations fail,
+  grandfathered ones are listed and may only shrink);
+* the shipped rule pack REP001–REP005 (:mod:`repro.analysis.rules`):
+  seeded RNG construction, wall-clock discipline, ClusterState
+  transaction discipline, span context-manager usage, unordered float
+  folds;
+* a mypy strictness ratchet (:mod:`repro.analysis.typing_ratchet`).
+
+Entry points: ``repro lint`` and ``python -m repro.analysis``.
+"""
+
+from repro.analysis import rules  # noqa: F401  (registers the rule pack)
+from repro.analysis.baseline import BaselineResult, compare, group_findings
+from repro.analysis.cli import main
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import Rule, all_rules, get_rule, lint_paths, lint_source, register
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "BaselineResult",
+    "compare",
+    "group_findings",
+    "main",
+]

@@ -1,0 +1,102 @@
+"""Committed lint baseline with ratchet semantics.
+
+The baseline (``lint-baseline.json`` at the repo root) grandfathers the
+debt that existed when a rule landed, keyed by ``(file, rule)`` with a
+violation *count* — counts rather than line numbers, so unrelated edits
+that shift code do not invalidate the baseline.  The ratchet:
+
+* a ``(file, rule)`` group may hold at most its baselined count — any
+  excess finding is **new** and fails the run;
+* groups may shrink (fixing debt never requires touching the baseline,
+  though ``--update-baseline`` tightens it so the fix cannot regress);
+* grandfathered findings are still *listed* on every run, so the debt
+  stays visible instead of silently riding along.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BaselineResult", "group_findings", "load", "save", "compare"]
+
+_SEP = "::"
+
+
+def group_findings(findings: Sequence[Finding]) -> dict[str, int]:
+    """``"<file>::<rule>" -> count`` for *findings*."""
+    groups: dict[str, int] = {}
+    for f in findings:
+        key = f"{f.file}{_SEP}{f.rule_id}"
+        groups[key] = groups.get(key, 0) + 1
+    return groups
+
+
+def load(path: Path) -> dict[str, int]:
+    """Baseline groups from *path*; an absent file is an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    groups = data.get("groups", {})
+    return {str(k): int(v) for k, v in groups.items()}
+
+
+def save(findings: Sequence[Finding], path: Path) -> None:
+    """Write the baseline for *findings* (sorted keys, stable diffs)."""
+    doc = {
+        "version": 1,
+        "comment": (
+            "repro lint ratchet: per (file, rule) grandfathered violation "
+            "counts. May only shrink; `python -m repro.analysis "
+            "--update-baseline` after paying debt down."
+        ),
+        "groups": dict(sorted(group_findings(findings).items())),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of comparing current findings against the baseline."""
+
+    new: tuple[Finding, ...]
+    grandfathered: tuple[Finding, ...]
+    #: Baseline groups holding more debt than currently found
+    #: (``key -> unused slots``); shrink the baseline to lock the wins in.
+    stale: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def compare(
+    findings: Sequence[Finding], baseline: Mapping[str, int]
+) -> BaselineResult:
+    """Split *findings* into new vs grandfathered under *baseline*.
+
+    Within one ``(file, rule)`` group the first ``baseline[key]``
+    findings in line order are grandfathered and the rest are new; which
+    specific lines carry the debt is immaterial to the ratchet.
+    """
+    seen: dict[str, int] = {}
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for f in sorted(findings):
+        key = f"{f.file}{_SEP}{f.rule_id}"
+        used = seen.get(key, 0)
+        if used < baseline.get(key, 0):
+            grandfathered.append(f)
+        else:
+            new.append(f)
+        seen[key] = used + 1
+    stale = {
+        key: allowed - seen.get(key, 0)
+        for key, allowed in sorted(baseline.items())
+        if seen.get(key, 0) < allowed
+    }
+    return BaselineResult(tuple(new), tuple(grandfathered), stale)

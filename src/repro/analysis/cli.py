@@ -1,0 +1,162 @@
+"""``repro lint`` / ``python -m repro.analysis`` — the lint front end.
+
+Runs the registered rule pack over the target paths (default:
+``src/repro``), applies the committed baseline ratchet and reports:
+
+* **new** findings — violations beyond the grandfathered counts; their
+  presence makes the exit code 1;
+* **grandfathered** findings — debt the baseline admits; always listed
+  so it stays visible, never fatal;
+* **stale** baseline groups — debt that has been paid down; the hint to
+  run ``--update-baseline`` and lock the improvement in.
+
+``--no-baseline`` reports every finding as new (the nightly job uses it
+to keep the full debt inventory visible as an artifact); ``--rules``
+restricts the pack; ``--format json`` emits a machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import rules as _rules  # noqa: F401  (registers the pack)
+from repro.analysis.engine import all_rules, lint_paths
+
+__all__ = ["add_arguments", "run", "main", "find_root"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def find_root(start: Path) -> Path:
+    """Nearest ancestor of *start* holding a pyproject.toml (else *start*)."""
+    start = start.resolve()
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro under the root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root for relative paths and the default baseline "
+        "(default: auto-detected via pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"ratchet baseline (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is reported as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    root = find_root(Path(args.root) if args.root else Path.cwd())
+    paths = (
+        [Path(p) for p in args.paths]
+        if args.paths
+        else [root / "src" / "repro"]
+    )
+    selected = None
+    if args.rules:
+        wanted = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+        selected = [r for r in all_rules() if r.rule_id in wanted]
+        unknown = wanted - {r.rule_id for r in selected}
+        if unknown:
+            print(f"lint: unknown rules {sorted(unknown)}", file=sys.stderr)
+            return 2
+
+    findings = lint_paths(paths, root, rules=selected)
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+
+    if args.update_baseline:
+        baseline_mod.save(findings, baseline_path)
+        print(
+            f"lint: baseline updated with {len(findings)} finding(s) -> "
+            f"{baseline_path}"
+        )
+        return 0
+
+    groups = {} if args.no_baseline else baseline_mod.load(baseline_path)
+    result = baseline_mod.compare(findings, groups)
+
+    if args.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "new": [f.to_dict() for f in result.new],
+                    "grandfathered": [f.to_dict() for f in result.grandfathered],
+                    "stale": result.stale,
+                },
+                indent=2,
+            )
+        )
+        return 0 if result.ok else 1
+
+    for f in result.new:
+        print(f.format())
+    for f in result.grandfathered:
+        print(f"{f.format()}  [baseline]")
+    if result.stale:
+        freed = sum(result.stale.values())
+        print(
+            f"lint: {freed} baselined finding(s) no longer occur — run "
+            "`python -m repro.analysis --update-baseline` to lock that in"
+        )
+    if result.new:
+        print(
+            f"lint: {len(result.new)} new finding(s), "
+            f"{len(result.grandfathered)} grandfathered"
+        )
+        return 1
+    print(
+        f"lint: ok ({len(result.grandfathered)} grandfathered finding(s), "
+        f"{len(all_rules() if selected is None else selected)} rule(s))"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST invariant linter for determinism, RNG and "
+        "transaction discipline (rules REP001-REP005)",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

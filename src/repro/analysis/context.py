@@ -1,0 +1,106 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleContext` is built once per source file and hands rules
+everything they need: the parsed AST, a child→parent node map (the
+stdlib AST has no parent links), resolved import aliases (so
+``import numpy.random as nr; nr.default_rng(...)`` still resolves to
+``numpy.random.default_rng``), and the ``# repro: allow-<rule>``
+suppression table.
+
+Suppressions
+------------
+A comment token ``# repro: allow-<token>`` suppresses findings whose
+rule id (``rep002``) or slug (``wall-clock``) matches *token* — or every
+rule, for ``allow-all`` — on the comment's own line; a comment-only line
+also covers the line directly below it, so a suppression can sit above
+the statement it blesses.  Suppressions are deliberately line-scoped:
+blanket file-level opt-outs would defeat the ratchet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+__all__ = ["ModuleContext", "dotted_name"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow-([a-z0-9-]+)")
+
+
+class ModuleContext:
+    """One parsed source file plus the lookup structures rules share."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        #: Repo-relative POSIX path (the ``file`` of every finding).
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        #: local name -> dotted origin, e.g. ``np`` -> ``numpy``,
+        #: ``perf_counter`` -> ``time.perf_counter``.
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        self._suppressed = self._collect_suppressions()
+
+    # ------------------------------------------------------------ suppression
+    def _collect_suppressions(self) -> dict[int, frozenset[str]]:
+        table: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            tokens = frozenset(_ALLOW_RE.findall(text))
+            if not tokens:
+                continue
+            table[lineno] = table.get(lineno, frozenset()) | tokens
+            if text.lstrip().startswith("#"):
+                # A comment-only line blesses the line below it too.
+                nxt = lineno + 1
+                table[nxt] = table.get(nxt, frozenset()) | tokens
+        return table
+
+    def is_suppressed(self, line: int, rule_id: str, slug: str) -> bool:
+        """True when ``# repro: allow-…`` covers *line* for this rule."""
+        tokens = self._suppressed.get(line)
+        if not tokens:
+            return False
+        return bool(tokens & {rule_id.lower(), slug, "all"})
+
+    # -------------------------------------------------------------- resolving
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a Name/Attribute chain, through import aliases.
+
+        ``nr.default_rng`` (after ``import numpy.random as nr``) resolves
+        to ``numpy.random.default_rng``; an unresolvable or non-chain
+        expression resolves to None.  Local variables that were never
+        import-bound resolve to their literal chain text, which lets
+        rules match on suffixes (``*.default_rng``).
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        base = self.aliases.get(cur.id, cur.id)
+        parts.append(base)
+        return ".".join(reversed(parts))

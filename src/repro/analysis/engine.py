@@ -1,0 +1,129 @@
+"""Rule registry and the lint driver.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`;
+the driver (:func:`lint_paths`) walks the target tree, builds one
+:class:`~repro.analysis.context.ModuleContext` per ``.py`` file, runs
+every (selected) rule over it, drops findings covered by inline
+``# repro: allow-<rule>`` suppressions, and returns the survivors in
+deterministic (file, line, rule) order.
+
+The engine is deliberately zero-dependency (stdlib ``ast`` only): the
+invariants it checks — seeded determinism, simulated-time discipline,
+transactional state mutation — are exactly the ones that must hold in
+minimal environments where ruff/mypy may not be installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "lint_paths", "lint_source"]
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`rule_id` (``REPnnn``), :attr:`slug` (the
+    suppression token), :attr:`description`, and implement
+    :meth:`check`, yielding findings for one module.  :meth:`applies_to`
+    scopes the rule by repo-relative path; the default is all of
+    ``src/repro``.
+    """
+
+    rule_id: str = ""
+    slug: str = ""
+    description: str = ""
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith("src/repro/")
+
+    def check(self, mod: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, mod: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            file=mod.rel,
+            line=getattr(node, "lineno", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of *cls* to the registry."""
+    rule = cls()
+    if not rule.rule_id or not rule.slug:
+        raise ValueError(f"{cls.__name__} must define rule_id and slug")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Registered rules in rule-id order."""
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id.upper()]
+
+
+def _iter_py_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_source(
+    source: str,
+    rel: str,
+    *,
+    rules: Iterable[Rule] | None = None,
+    path: Path | None = None,
+) -> list[Finding]:
+    """Lint one in-memory module (the unit the fixture tests drive)."""
+    mod = ModuleContext(path or Path(rel), rel, source)
+    out: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.check(mod):
+            if not mod.is_suppressed(finding.line, rule.rule_id, rule.slug):
+                out.append(finding)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    *,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under *paths*; findings are repo-relative
+    to *root* and sorted (file, line, rule)."""
+    selected = tuple(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for path in _iter_py_files(paths):
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            findings.extend(lint_source(source, rel, rules=selected, path=path))
+        except SyntaxError as exc:  # pragma: no cover - repo parses today
+            findings.append(
+                Finding(rel, exc.lineno or 0, "REP000", f"syntax error: {exc.msg}")
+            )
+    return sorted(findings)

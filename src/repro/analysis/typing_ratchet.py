@@ -1,0 +1,219 @@
+"""Mypy strictness ratchet.
+
+The repo types incrementally: a lenient baseline everywhere, with
+packages promoted to a strict flag set (``disallow_untyped_defs`` & co.
+in ``pyproject.toml`` per-module overrides) as they are annotated.  This
+tool makes that a one-way door:
+
+* a **strict package regressing** (any mypy error inside it) fails;
+* a **strict package being demoted** (listed in the committed baseline
+  but no longer configured strict in pyproject.toml) fails;
+* the **repo-wide error count growing** past the committed total fails.
+
+The committed baseline is ``typing-baseline.json`` at the repo root.
+Counts shrinking never fails — the tool just suggests tightening the
+baseline.  When mypy is not installed the ratchet skips with a warning
+(exit 0) unless ``--require-mypy`` is given, so minimal environments can
+still run the test suite; CI installs mypy and passes the flag.
+Parsing is pure (``parse_mypy_output``), so the ratchet logic is fully
+testable without mypy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.cli import find_root
+
+__all__ = [
+    "package_of",
+    "parse_mypy_output",
+    "strict_packages_from_pyproject",
+    "evaluate",
+    "main",
+]
+
+DEFAULT_BASELINE = "typing-baseline.json"
+
+#: The strict per-module override flags a promoted package must carry
+#: (mirrors the repro.parallel override block in pyproject.toml).
+STRICT_FLAG = "disallow_untyped_defs"
+
+
+def package_of(path: str) -> str:
+    """Ratchet package of a mypy error path.
+
+    ``src/repro/obs/tracer.py`` -> ``repro.obs``; top-level modules
+    (``src/repro/cli.py``) -> ``repro``.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if len(parts) >= 3:
+        return ".".join(parts[:2])
+    if parts:
+        return parts[0]
+    return path
+
+
+def parse_mypy_output(text: str) -> dict[str, int]:
+    """Per-package error counts from raw ``mypy`` stdout."""
+    counts: dict[str, int] = {}
+    for line in text.splitlines():
+        # "path.py:12: error: message  [code]" (or path:line:col: error:)
+        head, sep, _ = line.partition(": error:")
+        if not sep:
+            continue
+        path = head.split(":", 1)[0].strip()
+        if not path.endswith(".py"):
+            continue
+        pkg = package_of(path)
+        counts[pkg] = counts.get(pkg, 0) + 1
+    return counts
+
+
+def strict_packages_from_pyproject(text: str) -> frozenset[str]:
+    """Packages whose pyproject mypy override sets the strict flags."""
+    data = tomllib.loads(text)
+    overrides = data.get("tool", {}).get("mypy", {}).get("overrides", [])
+    strict: set[str] = set()
+    for entry in overrides:
+        if not entry.get(STRICT_FLAG, False):
+            continue
+        modules = entry.get("module", [])
+        if isinstance(modules, str):
+            modules = [modules]
+        for mod in modules:
+            strict.add(mod.removesuffix(".*"))
+    return frozenset(strict)
+
+
+def evaluate(
+    counts: Mapping[str, int],
+    baseline: Mapping[str, object],
+    strict_in_config: frozenset[str],
+) -> list[str]:
+    """Ratchet failures (empty list = pass)."""
+    failures: list[str] = []
+    baseline_strict = {str(p) for p in baseline.get("strict_packages", [])}  # type: ignore[union-attr]
+    for pkg in sorted(baseline_strict - strict_in_config):
+        failures.append(
+            f"strict package {pkg} was demoted: its pyproject.toml override "
+            f"no longer sets {STRICT_FLAG}"
+        )
+    for pkg in sorted(strict_in_config | baseline_strict):
+        errors = counts.get(pkg, 0)
+        if errors:
+            failures.append(f"strict package {pkg} regressed: {errors} error(s)")
+    total = sum(counts.values())
+    allowed = int(baseline.get("total_errors", 0))  # type: ignore[call-overload, arg-type]
+    if total > allowed:
+        failures.append(
+            f"repo-wide mypy error count grew: {total} > baseline {allowed}"
+        )
+    return failures
+
+
+def _run_mypy(targets: Sequence[str], cwd: Path) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *targets],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.stdout
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.typing_ratchet",
+        description="fail when mypy strictness regresses "
+        "(strict packages, repo-wide error count)",
+    )
+    parser.add_argument("targets", nargs="*", default=None,
+                        help="mypy targets (default: src/repro)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: auto-detected)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline (default: <root>/{DEFAULT_BASELINE})")
+    parser.add_argument("--mypy-output", default=None, metavar="PATH",
+                        help="parse this saved mypy output instead of "
+                             "running mypy")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current run")
+    parser.add_argument("--require-mypy", action="store_true",
+                        help="fail (exit 2) when mypy is not installed "
+                             "instead of skipping")
+    args = parser.parse_args(argv)
+
+    root = find_root(Path(args.root) if args.root else Path.cwd())
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    pyproject = root / "pyproject.toml"
+    strict = (
+        strict_packages_from_pyproject(pyproject.read_text(encoding="utf-8"))
+        if pyproject.exists()
+        else frozenset()
+    )
+
+    if args.mypy_output is not None:
+        output = Path(args.mypy_output).read_text(encoding="utf-8")
+    else:
+        if importlib.util.find_spec("mypy") is None:
+            print("typing-ratchet: mypy not installed; skipping"
+                  + (" (--require-mypy set)" if args.require_mypy else ""))
+            return 2 if args.require_mypy else 0
+        output = _run_mypy(args.targets or ["src/repro"], root)
+
+    counts = parse_mypy_output(output)
+    total = sum(counts.values())
+
+    if args.update_baseline:
+        doc = {
+            "version": 1,
+            "comment": (
+                "mypy ratchet: strict packages must stay error-free and "
+                "configured strict; the repo-wide error count may only "
+                "shrink."
+            ),
+            "total_errors": total,
+            "packages": dict(sorted(counts.items())),
+            "strict_packages": sorted(strict),
+        }
+        baseline_path.write_text(json.dumps(doc, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"typing-ratchet: baseline updated ({total} error(s), "
+              f"{len(strict)} strict package(s)) -> {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"typing-ratchet: no baseline at {baseline_path}; run "
+              "--update-baseline first")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    failures = evaluate(counts, baseline, strict)
+    for failure in failures:
+        print(f"typing-ratchet: FAIL: {failure}")
+    if failures:
+        return 1
+    allowed = int(baseline.get("total_errors", 0))
+    print(f"typing-ratchet: ok ({total} error(s) <= baseline {allowed}, "
+          f"{len(strict)} strict package(s))")
+    if total < allowed:
+        print("typing-ratchet: error count shrank — consider "
+              "--update-baseline to lock it in")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

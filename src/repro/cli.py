@@ -16,7 +16,13 @@
   ``--all``, the whole suite — optionally fanned across worker
   processes (``--workers N``) by the ``repro.parallel`` driver, with
   the same artifact flags plus ``--out-dir`` for machine-readable
-  tables.
+  tables;
+* ``lint``       — run the AST invariant linter (rules REP001–REP005:
+  seeded RNG construction, wall-clock discipline, ClusterState
+  transaction discipline, span usage, unordered float folds) with the
+  committed ratchet baseline — see docs/ARCHITECTURE.md, "Static
+  analysis & invariants".  Also available as
+  ``python -m repro.analysis``.
 
 ``run``/``rebalance`` accept ``--restarts K --workers N`` to fan K
 independent SRA restarts across N worker processes (best-of-K wins;
@@ -150,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument("--bandwidth", type=float, default=1.25e9,
                     help="per-machine NIC bandwidth in bytes/second")
     _add_obs_arguments(rt)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter (REP001-REP005) with the "
+             "committed ratchet baseline",
+    )
+    from repro.analysis.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
 
     exp = sub.add_parser("experiment", help="regenerate experiment tables")
     exp.add_argument("id", nargs="?", default=None,
@@ -460,6 +475,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_rebalance(args)
     if args.command == "runtime":
         return _cmd_runtime(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run as _run_lint
+
+        return _run_lint(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -79,7 +79,7 @@ class ResourceSchema:
     def as_mapping(self, vec: np.ndarray) -> dict[str, float]:
         """Inverse of :meth:`vector`: label a vector's components."""
         vec = as_demand_array("vec", vec, self.dims)
-        return {name: float(v) for name, v in zip(self.names, vec)}
+        return {name: float(v) for name, v in zip(self.names, vec, strict=True)}
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names)

@@ -478,7 +478,7 @@ class ClusterState:
             raise ValueError("unassign_many: duplicate shard ids")
         fr = self._frame
         if fr is not None and not fr.snapshot:
-            for j, s in zip(ids.tolist(), srcs.tolist()):
+            for j, s in zip(ids.tolist(), srcs.tolist(), strict=True):
                 self._journal_shard(fr, j, s)
             for i in np.unique(srcs).tolist():
                 self._journal_machine(fr, i)
@@ -493,7 +493,7 @@ class ClusterState:
         self._peak_dirty[touched] = True
         self._peak_any_dirty = True
         if self._replica_groups:
-            for j, s in zip(ids.tolist(), srcs.tolist()):
+            for j, s in zip(ids.tolist(), srcs.tolist(), strict=True):
                 self._host_leave(int(j), int(s))
 
     def assign_shard(self, shard_id: int, machine_id: int) -> None:
@@ -813,7 +813,7 @@ class ClusterState:
             hosts = self._assign[members]
             hosts = hosts[hosts != UNASSIGNED]
             uniq, cnt = np.unique(hosts, return_counts=True)
-            expected = {int(mach): int(c) for mach, c in zip(uniq, cnt)}
+            expected = {int(mach): int(c) for mach, c in zip(uniq, cnt, strict=True)}
             if expected != self._replica_hosts.get(group, {}):
                 raise ValueError(f"replica host cache diverged for group {group}")
             conflicts += int(np.sum(cnt > 1))

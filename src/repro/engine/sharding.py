@@ -122,7 +122,7 @@ class ShardedIndex:
         if not query_sample:
             raise ValueError("query_sample must be non-empty")
         stats: list[_ShardStats] = []
-        for ix, scorer in zip(self.indexes, self.scorers):
+        for ix, scorer in zip(self.indexes, self.scorers, strict=True):
             total_work = 0
             for q in query_sample:
                 _, work = scorer.search(q, k=10)

@@ -94,7 +94,7 @@ def bar_chart(
     top = float(vals.max()) or 1.0
     name_pad = max(len(str(x)) for x in labels)
     lines = [title] if title else []
-    for label, v in zip(labels, vals):
+    for label, v in zip(labels, vals, strict=True):
         bar = "█" * max(1 if v > 0 else 0, int(round(v / top * width)))
         lines.append(f"{str(label).rjust(name_pad)} |{bar.ljust(width)} {v:.4g}{unit}")
     return "\n".join(lines)

@@ -42,7 +42,7 @@ def run(fast: bool = True) -> list[dict]:
     capacity = logical_demand.sum(axis=0) / (num_machines * 0.7)
     machines = Machine.homogeneous(
         num_machines,
-        {n: float(c) for n, c in zip(logical_shards[0].schema.names, capacity)},
+        {n: float(c) for n, c in zip(logical_shards[0].schema.names, capacity, strict=True)},
     )
     serving = ServingConfig(
         arrival_rate=_QPS,
@@ -90,7 +90,7 @@ def _replicated_cluster(machines, logical_demand, k):
     rng = np.random.default_rng(41)
     m = len(machines)
     assign = []
-    for g in range(n_logical):
+    for _g in range(n_logical):
         hosts = rng.choice(m, size=k, replace=False)
         assign.extend(int(h) for h in hosts)
     state = ClusterState(list(machines), shards, assign)

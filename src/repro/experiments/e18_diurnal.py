@@ -61,7 +61,7 @@ def run(fast: bool = True) -> list[dict]:
     demand = np.stack([s.demand for s in shards])
     capacity = demand.sum(axis=0) / (num_machines * 0.7)
     machines = Machine.homogeneous(
-        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity)}
+        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity, strict=True)}
     )
     rng = np.random.default_rng(7)
     weights = rng.dirichlet(np.full(num_machines, 0.8))

@@ -54,7 +54,7 @@ def run(fast: bool = True) -> list[dict]:
     demand = np.stack([s.demand for s in shards])
     capacity = demand.sum(axis=0) / (num_machines * 0.75)
     machines = Machine.homogeneous(
-        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity)}
+        num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity, strict=True)}
     )
 
     # Skewed initial placement (capacity-feasible first-fit on a biased order).

@@ -61,11 +61,11 @@ def format_table(rows: Sequence[Mapping[str, Any]], *, title: str | None = None)
     lines = []
     if title:
         lines.append(title)
-    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths, strict=True))
     lines.append(header)
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
-        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

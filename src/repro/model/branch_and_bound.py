@@ -79,12 +79,13 @@ class BranchAndBoundSolver:
 
         best_obj = np.inf
         best_x: np.ndarray | None = None
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow-wall-clock (solver time limit)
         nodes_expanded = 0
         proven = True
 
         stack = [_Node(model.lower.copy(), model.upper.copy(), 0)]
         while stack:
+            # repro: allow-wall-clock (real-time solver budget)
             if time.perf_counter() - started > self.time_limit:
                 proven = False
                 break

@@ -25,6 +25,7 @@ not active.
 from __future__ import annotations
 
 import json
+import os
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping
 
@@ -94,7 +95,7 @@ class Histogram:
         self.edges = tuple(float(e) for e in edges)
         if not self.edges:
             raise ValueError(f"histogram {self.name}: need at least one edge")
-        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:], strict=False)):
             raise ValueError(f"histogram {self.name}: edges must be increasing")
         self.counts = [0] * (len(self.edges) + 1)  # + overflow
         self.count = 0
@@ -208,7 +209,7 @@ class MetricsRegistry:
             },
         }
 
-    def export_json(self, path) -> None:
+    def export_json(self, path: str | os.PathLike[str]) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -238,7 +239,7 @@ class _NullInstrument:
     def observe_many(self, values: Iterable[float]) -> None:
         pass
 
-    def to_dict(self):
+    def to_dict(self) -> None:
         return None
 
 
@@ -259,7 +260,9 @@ class NullRegistry(MetricsRegistry):
     def gauge(self, name: str) -> Gauge:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name: str, edges=LATENCY_EDGES_S) -> Histogram:  # type: ignore[override]
+    def histogram(
+        self, name: str, edges: Iterable[float] = LATENCY_EDGES_S
+    ) -> Histogram:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def merge_dict(self, data: Mapping[str, Any]) -> None:
@@ -268,7 +271,7 @@ class NullRegistry(MetricsRegistry):
     def to_dict(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
-    def export_json(self, path) -> None:
+    def export_json(self, path: str | os.PathLike[str]) -> None:
         raise RuntimeError("cannot export the disabled NULL_REGISTRY; "
                            "activate a real MetricsRegistry first")
 

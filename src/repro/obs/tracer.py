@@ -29,10 +29,12 @@ docs/ARCHITECTURE.md.
 from __future__ import annotations
 
 import json
+import os
 import time
+from types import TracebackType
 from typing import Any, Callable, Iterator
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl", "iter_spans"]
 
 
 class Span:
@@ -69,7 +71,12 @@ class Span:
         self._tracer._open(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         if exc is not None:
             self.attrs["error"] = repr(exc)
         self._tracer._close(self)
@@ -152,7 +159,7 @@ class Tracer:
             out.append({"kind": "counters", "counters": dict(self.root_counters)})
         return out
 
-    def export_jsonl(self, path) -> None:
+    def export_jsonl(self, path: str | os.PathLike[str]) -> None:
         """Write one JSON record per line to *path*."""
         with open(path, "w", encoding="utf-8") as fh:
             for rec in self.records():
@@ -230,7 +237,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -255,7 +267,7 @@ class NullTracer(Tracer):
         pass
 
     @property
-    def current_span(self):
+    def current_span(self) -> Span | None:
         return None
 
     @property
@@ -268,7 +280,7 @@ class NullTracer(Tracer):
     def ingest(self, records: list[dict[str, Any]]) -> None:
         pass
 
-    def export_jsonl(self, path) -> None:
+    def export_jsonl(self, path: str | os.PathLike[str]) -> None:
         raise RuntimeError("cannot export the disabled NULL_TRACER; "
                            "activate a real Tracer first")
 
@@ -277,7 +289,7 @@ class NullTracer(Tracer):
 NULL_TRACER = NullTracer()
 
 
-def read_jsonl(path) -> list[dict[str, Any]]:
+def read_jsonl(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
     """Load records written by :meth:`Tracer.export_jsonl`."""
     out: list[dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:

@@ -82,7 +82,7 @@ def run_experiments(
             error=row.error,
             duration_s=row.duration_s,
         )
-        for key, row in zip(selected, results)
+        for key, row in zip(selected, results, strict=True)
     ]
 
 

@@ -280,7 +280,7 @@ class ParallelRunner:
         """Fold worker obs payloads into the parent bundle, in task order."""
         bundle = obs.current()
         results: list[TaskResult] = []
-        for index, (spec, slot) in enumerate(zip(specs, slots)):
+        for index, (spec, slot) in enumerate(zip(specs, slots, strict=True)):
             with bundle.tracer.span(
                 "parallel.task", index=index, task=spec.name, seed=spec.seed
             ) as span:

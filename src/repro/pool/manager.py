@@ -81,7 +81,7 @@ class MachinePool:
 
     def accept(self, machines: list[Machine]) -> None:
         """Add returned machines to the inventory."""
-        for k, m in enumerate(machines):
+        for m in machines:
             self._machines.append(
                 Machine(
                     id=self.size,

@@ -116,49 +116,47 @@ class RecoveryPlanner:
         recovery plans are reproducible under user-controlled seeding.
         """
         tracer = obs.current().tracer
-        recovery_span = tracer.span(
+        with tracer.span(
             "recovery.recover", orphans=len(orphans), seed=self.sra_config.alns.seed
-        )
-        recovery_span.__enter__()
-        work = degraded.copy()
-        missing = [j for j in orphans if work.machine_of(j) < 0]
-        rng = np.random.default_rng(self.sra_config.alns.seed)
-        with tracer.span("recovery.place", missing=len(missing)):
-            regret2_insertion(work, rng, missing)
+        ) as recovery_span:
+            work = degraded.copy()
+            missing = [j for j in orphans if work.machine_of(j) < 0]
+            rng = np.random.default_rng(self.sra_config.alns.seed)
+            with tracer.span("recovery.place", missing=len(missing)):
+                regret2_insertion(work, rng, missing)
 
-        # Peak over in-service machines only.
-        peaks = work.machine_peak_utilization()
-        in_service = ~work.offline_mask
-        peak = float(peaks[in_service].max()) if np.any(in_service) else 0.0
+            # Peak over in-service machines only.
+            peaks = work.machine_peak_utilization()
+            in_service = ~work.offline_mask
+            peak = float(peaks[in_service].max()) if np.any(in_service) else 0.0
 
-        feasible = (
-            work.is_fully_assigned()
-            and work.is_within_capacity()
-            and not work.has_replica_conflicts()
-        )
+            feasible = (
+                work.is_fully_assigned()
+                and work.is_within_capacity()
+                and not work.has_replica_conflicts()
+            )
 
-        sources: dict[int, int] = {}
-        rebuild = 0.0
-        for j in orphans:
-            rebuild += float(work.sizes[j])
-            peer_hosts = work.replica_peer_machines(j)
-            # Exclude the shard's own new machine as a "source".
-            peer_hosts = peer_hosts[peer_hosts != work.machine_of(j)]
-            sources[j] = int(peer_hosts[0]) if peer_hosts.size else -1
+            sources: dict[int, int] = {}
+            rebuild = 0.0
+            for j in orphans:
+                rebuild += float(work.sizes[j])
+                peer_hosts = work.replica_peer_machines(j)
+                # Exclude the shard's own new machine as a "source".
+                peer_hosts = peer_hosts[peer_hosts != work.machine_of(j)]
+                sources[j] = int(peer_hosts[0]) if peer_hosts.size else -1
 
-        rebalance = None
-        if self.rebalance_after and feasible:
-            with tracer.span("recovery.rebalance"):
-                rebalance = SRA(self.sra_config).rebalance(work, ledger)
-            if rebalance.feasible:
-                work.apply_assignment(rebalance.target_assignment)
-                peaks = work.machine_peak_utilization()
-                peak = float(peaks[in_service].max())
+            rebalance = None
+            if self.rebalance_after and feasible:
+                with tracer.span("recovery.rebalance"):
+                    rebalance = SRA(self.sra_config).rebalance(work, ledger)
+                if rebalance.feasible:
+                    work.apply_assignment(rebalance.target_assignment)
+                    peaks = work.machine_peak_utilization()
+                    peak = float(peaks[in_service].max())
 
-        recovery_span.set("feasible", feasible)
-        recovery_span.set("peak_after", peak)
-        recovery_span.set("rebuild_bytes", rebuild)
-        recovery_span.__exit__(None, None, None)
+            recovery_span.set("feasible", feasible)
+            recovery_span.set("peak_after", peak)
+            recovery_span.set("rebuild_bytes", rebuild)
         metrics = obs.current().metrics
         if metrics.enabled:
             metrics.counter("recovery.episodes").inc()

@@ -160,62 +160,59 @@ def simulate_serving(
     query_rows = rng.integers(0, profile.num_queries, size=num_arrivals)
 
     o = obs.current()
-    sim_span = o.tracer.span(
+    with o.tracer.span(
         "simulate.serving",
         machines=state.num_machines,
         shards=state.num_shards,
         arrivals=int(num_arrivals),
         duration=cfg.duration,
-    )
-    sim_span.__enter__()
-
-    # Run the arrival process on the shared event-heap kernel.  Speeds
-    # are constant here, so the fleet's arithmetic reduces to exactly the
-    # historical single-pass loop (see the bitwise contract in
-    # repro.runtime.machines).
-    fleet = ServingFleet(speed)
-    arrivals = QueryArrivalProcess(
-        fleet,
-        state.assignment_view(),
-        profile.work,
-        mapping,
-        arrival_times,
-        query_rows,
-    )
-    runtime = Runtime()
-    runtime.add(arrivals)
-    runtime.run()
-    fleet.flush()
-    latencies = arrivals.latencies()
-
-    busy_fraction = _busy_fraction(
-        fleet.busy_time(), arrival_times, cfg, state.num_machines
-    )
-    report = ServingReport(
-        latency=summarize(latencies) if num_arrivals else _empty_summary(),
-        machine_busy_fraction=busy_fraction,
-        queries_completed=int(num_arrivals),
-        raw_arrivals=arrival_times.copy() if capture_raw else None,
-        raw_latencies=latencies.copy() if capture_raw else None,
-    )
-    if o.metrics.enabled:
-        m = o.metrics
-        m.counter("sim.queries").inc(num_arrivals)
-        m.histogram("sim.latency_seconds", LATENCY_EDGES_S).observe_many(latencies)
-        if num_arrivals > 1:
-            m.histogram("sim.interarrival_seconds", LATENCY_EDGES_S).observe_many(
-                np.diff(arrival_times)
-            )
-        m.histogram("sim.machine_busy_fraction", UTILIZATION_EDGES).observe_many(
-            busy_fraction
+    ) as sim_span:
+        # Run the arrival process on the shared event-heap kernel.  Speeds
+        # are constant here, so the fleet's arithmetic reduces to exactly
+        # the historical single-pass loop (see the bitwise contract in
+        # repro.runtime.machines).
+        fleet = ServingFleet(speed)
+        arrivals = QueryArrivalProcess(
+            fleet,
+            state.assignment_view(),
+            profile.work,
+            mapping,
+            arrival_times,
+            query_rows,
         )
-        m.gauge("sim.peak_busy_fraction").set(report.peak_busy_fraction)
-        for mid in range(state.num_machines):
-            m.gauge(f"sim.machine_busy_fraction[{mid}]").set(busy_fraction[mid])
-    sim_span.set("peak_busy_fraction", report.peak_busy_fraction)
-    if num_arrivals:
-        sim_span.set("p99_seconds", report.latency.p99)
-    sim_span.__exit__(None, None, None)
+        runtime = Runtime()
+        runtime.add(arrivals)
+        runtime.run()
+        fleet.flush()
+        latencies = arrivals.latencies()
+
+        busy_fraction = _busy_fraction(
+            fleet.busy_time(), arrival_times, cfg, state.num_machines
+        )
+        report = ServingReport(
+            latency=summarize(latencies) if num_arrivals else _empty_summary(),
+            machine_busy_fraction=busy_fraction,
+            queries_completed=int(num_arrivals),
+            raw_arrivals=arrival_times.copy() if capture_raw else None,
+            raw_latencies=latencies.copy() if capture_raw else None,
+        )
+        if o.metrics.enabled:
+            m = o.metrics
+            m.counter("sim.queries").inc(num_arrivals)
+            m.histogram("sim.latency_seconds", LATENCY_EDGES_S).observe_many(latencies)
+            if num_arrivals > 1:
+                m.histogram("sim.interarrival_seconds", LATENCY_EDGES_S).observe_many(
+                    np.diff(arrival_times)
+                )
+            m.histogram("sim.machine_busy_fraction", UTILIZATION_EDGES).observe_many(
+                busy_fraction
+            )
+            m.gauge("sim.peak_busy_fraction").set(report.peak_busy_fraction)
+            for mid in range(state.num_machines):
+                m.gauge(f"sim.machine_busy_fraction[{mid}]").set(busy_fraction[mid])
+        sim_span.set("peak_busy_fraction", report.peak_busy_fraction)
+        if num_arrivals:
+            sim_span.set("p99_seconds", report.latency.p99)
     return report
 
 

@@ -1,0 +1,587 @@
+"""Tests for the repro.analysis invariant linter and typing ratchet.
+
+Each rule gets fixture-driven positives *and* negatives (the negatives
+are what keep the linter honest — a rule that fires on the blessed
+idiom would be suppressed into uselessness within a week), plus the
+suppression grammar, the baseline ratchet semantics, the CLI front end
+and a self-check that the repository at HEAD lints clean under its
+committed baseline.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    all_rules,
+    compare,
+    get_rule,
+    group_findings,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import typing_ratchet
+from repro.analysis.cli import main as lint_main
+from repro.analysis.context import ModuleContext
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ALGO = "src/repro/simulate/fixture.py"
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint(source, rel=ALGO, rules=None):
+    return lint_source(source, rel, rules=rules)
+
+
+class TestRegistry:
+    def test_pack_is_registered(self):
+        assert [r.rule_id for r in all_rules()] == [
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        ]
+
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("rep002").slug == "wall-clock"
+
+    def test_every_rule_has_slug_and_description(self):
+        for rule in all_rules():
+            assert rule.slug and rule.description
+
+
+class TestFinding:
+    def test_format_and_roundtrip(self):
+        f = Finding(file="src/x.py", line=3, rule_id="REP001", message="m")
+        assert f.format() == "src/x.py:3: REP001 m"
+        assert Finding.from_dict(f.to_dict()) == f
+
+    def test_sorts_by_file_line_rule(self):
+        a = Finding("a.py", 9, "REP002", "m")
+        b = Finding("b.py", 1, "REP001", "m")
+        assert sorted([b, a]) == [a, b]
+
+
+class TestRep001RngSeed:
+    def test_literal_seed_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert rule_ids(lint(src)) == ["REP001"]
+
+    def test_missing_seed_flagged(self):
+        src = "from numpy.random import default_rng\nrng = default_rng()\n"
+        findings = lint(src)
+        assert rule_ids(findings) == ["REP001"]
+        assert "without a seed" in findings[0].message
+
+    def test_none_seed_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng(None)\n"
+        assert rule_ids(lint(src)) == ["REP001"]
+
+    def test_configured_seed_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(cfg.seed)\n"
+        assert lint(src) == []
+
+    def test_derived_seed_expression_clean(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng((cfg.seed + 104729) if seed is None else seed)\n"
+        )
+        assert lint(src) == []
+
+    def test_seed_sequence_literal_entropy_flagged(self):
+        src = "import numpy as np\nss = np.random.SeedSequence(42)\n"
+        assert rule_ids(lint(src)) == ["REP001"]
+
+    def test_seed_sequence_configured_entropy_clean(self):
+        src = "import numpy as np\nss = np.random.SeedSequence(entropy=cfg.seed)\n"
+        assert lint(src) == []
+
+    def test_legacy_numpy_rng_always_flagged(self):
+        src = "import numpy as np\nnp.random.seed(0)\nr = np.random.RandomState(cfg.seed)\n"
+        assert rule_ids(lint(src)) == ["REP001", "REP001"]
+
+    def test_alias_import_resolved(self):
+        src = "import numpy.random as nr\nrng = nr.default_rng(13)\n"
+        assert rule_ids(lint(src)) == ["REP001"]
+
+
+class TestRep002WallClock:
+    def test_time_time_flagged_in_scope(self):
+        src = "import time\nt = time.time()\n"
+        assert rule_ids(lint(src)) == ["REP002"]
+
+    def test_from_import_alias_resolved(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert rule_ids(lint(src)) == ["REP002"]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nnow = datetime.datetime.now()\n"
+        assert rule_ids(lint(src)) == ["REP002"]
+
+    def test_stdlib_random_import_flagged(self):
+        assert rule_ids(lint("import random\n")) == ["REP002"]
+        assert rule_ids(lint("from random import choice\n")) == ["REP002"]
+
+    def test_out_of_scope_modules_exempt(self):
+        src = "import time\nt = time.time()\n"
+        for rel in (
+            "src/repro/parallel/runner.py",
+            "src/repro/obs/tracer.py",
+            "src/repro/experiments/e8_latency.py",
+            "src/repro/analysis/engine.py",
+            "src/repro/cli.py",
+            "tools/bench.py",
+        ):
+            assert lint(src, rel=rel) == []
+
+    def test_injected_clock_call_clean(self):
+        # Calling an injected clock attribute is the blessed pattern.
+        src = "t = self._clock()\n"
+        assert lint(src) == []
+
+
+class TestRep003StateMutation:
+    def test_private_attr_rebind_flagged(self):
+        src = "state._loads = fresh\n"
+        assert rule_ids(lint(src)) == ["REP003"]
+
+    def test_private_attr_subscript_write_flagged(self):
+        src = "state._loads[0] = 1.0\n"
+        assert rule_ids(lint(src)) == ["REP003"]
+
+    def test_private_attr_augassign_flagged(self):
+        src = "state._num_unassigned += 1\n"
+        assert rule_ids(lint(src)) == ["REP003"]
+
+    def test_view_property_subscript_write_flagged(self):
+        src = "state.loads[i] -= delta\n"
+        assert rule_ids(lint(src)) == ["REP003"]
+
+    def test_assignment_copy_write_gets_copy_message(self):
+        findings = lint("state.assignment[j] = m\n")
+        assert rule_ids(findings) == ["REP003"]
+        assert "silently lost" in findings[0].message
+
+    def test_view_call_subscript_write_flagged(self):
+        src = "state.assignment_view()[j] = m\n"
+        assert rule_ids(lint(src)) == ["REP003"]
+
+    def test_private_method_call_flagged(self):
+        src = "state._rebuild_caches()\n"
+        assert rule_ids(lint(src)) == ["REP003"]
+
+    def test_self_writes_clean(self):
+        # An object's own arrays (e.g. the migration executor's loads)
+        # are its own business; only foreign ClusterState writes count.
+        src = "self.loads[machine] -= d\nself._rebuild_caches()\n"
+        assert lint(src) == []
+
+    def test_state_py_itself_exempt(self):
+        src = "state._loads[0] = 1.0\n"
+        assert lint(src, rel="src/repro/cluster/state.py") == []
+
+    def test_transactional_api_clean(self):
+        src = "state.move(j, m)\nstate.assign_shard(j, m)\nstate.commit()\n"
+        assert lint(src) == []
+
+
+class TestRep004SpanContext:
+    def test_manual_enter_flagged(self):
+        src = 'sp = tracer.span("x")\nsp.__enter__()\n'
+        assert rule_ids(lint(src)) == ["REP004"]
+
+    def test_with_statement_clean(self):
+        src = 'with tracer.span("x") as sp:\n    sp.set("k", 1)\n'
+        assert lint(src) == []
+
+    def test_with_statement_multiple_items_clean(self):
+        src = 'with tracer.span("a") as a, tracer.span("b"):\n    pass\n'
+        assert lint(src) == []
+
+    def test_span_as_call_argument_flagged(self):
+        src = 'record(tracer.span("x"))\n'
+        assert rule_ids(lint(src)) == ["REP004"]
+
+
+class TestRep005UnorderedFold:
+    REL = "src/repro/algorithms/fixture.py"
+
+    def test_augassign_over_set_literal_flagged(self):
+        src = "total = 0.0\nfor x in {1.0, 2.0}:\n    total += x\n"
+        assert rule_ids(lint(src, rel=self.REL)) == ["REP005"]
+
+    def test_augassign_over_set_call_flagged(self):
+        src = "t = 0.0\nfor x in set(values):\n    t += x\n"
+        assert rule_ids(lint(src, rel=self.REL)) == ["REP005"]
+
+    def test_sum_over_set_comprehension_flagged(self):
+        src = "t = sum({f(x) for x in xs})\n"
+        assert rule_ids(lint(src, rel=self.REL)) == ["REP005"]
+
+    def test_sum_generator_over_set_flagged(self):
+        src = "t = sum(v for v in set(vals))\n"
+        assert rule_ids(lint(src, rel=self.REL)) == ["REP005"]
+
+    def test_sorted_iteration_clean(self):
+        src = "t = 0.0\nfor x in sorted(set(values)):\n    t += x\nu = sum(sorted(s))\n"
+        assert lint(src, rel=self.REL) == []
+
+    def test_list_iteration_clean(self):
+        src = "t = 0.0\nfor x in values:\n    t += x\n"
+        assert lint(src, rel=self.REL) == []
+
+    def test_out_of_scope_clean(self):
+        src = "t = 0.0\nfor x in {1.0, 2.0}:\n    t += x\n"
+        assert lint(src, rel="src/repro/cluster/state.py") == []
+
+
+class TestSuppressions:
+    def test_same_line_slug(self):
+        src = "import time\nt = time.time()  # repro: allow-wall-clock (reporting)\n"
+        assert lint(src) == []
+
+    def test_same_line_rule_id(self):
+        src = "import time\nt = time.time()  # repro: allow-rep002\n"
+        assert lint(src) == []
+
+    def test_preceding_comment_line_covers_next(self):
+        src = (
+            "import time\n"
+            "# repro: allow-wall-clock (real-time budget)\n"
+            "t = time.time()\n"
+        )
+        assert lint(src) == []
+
+    def test_allow_all(self):
+        src = "import time\nt = time.time()  # repro: allow-all\n"
+        assert lint(src) == []
+
+    def test_wrong_token_does_not_suppress(self):
+        src = "import time\nt = time.time()  # repro: allow-rng-seed\n"
+        assert rule_ids(lint(src)) == ["REP002"]
+
+    def test_suppression_is_line_scoped(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro: allow-wall-clock\n"
+            "b = time.time()\n"
+        )
+        findings = lint(src)
+        assert rule_ids(findings) == ["REP002"]
+        assert findings[0].line == 3
+
+    def test_non_comment_line_does_not_bless_next(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro: allow-wall-clock\n"
+            "b = time.time()\n"
+        )
+        # Line 2's trailing comment must not cover line 3.
+        assert [f.line for f in lint(src)] == [3]
+
+
+class TestModuleContext:
+    def test_alias_resolution(self):
+        mod = ModuleContext(
+            Path("x.py"), "x.py",
+            "import numpy.random as nr\nfrom time import perf_counter as pc\n",
+        )
+        assert mod.aliases["nr"] == "numpy.random"
+        assert mod.aliases["pc"] == "time.perf_counter"
+
+    def test_resolve_none_for_non_chain(self):
+        mod = ModuleContext(Path("x.py"), "x.py", "f()[0]()\n")
+        import ast as _ast
+
+        call = next(
+            n for n in _ast.walk(mod.tree)
+            if isinstance(n, _ast.Call) and isinstance(n.func, _ast.Subscript)
+        )
+        assert mod.resolve(call.func) is None
+
+
+class TestLintPaths:
+    def test_walk_and_relative_paths(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "simulate"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = lint_paths([tmp_path / "src"], tmp_path)
+        assert rule_ids(findings) == ["REP002"]
+        assert findings[0].file == "src/repro/simulate/bad.py"
+
+    def test_syntax_error_becomes_rep000(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def broken(:\n")
+        findings = lint_paths([tmp_path / "src"], tmp_path)
+        assert rule_ids(findings) == ["REP000"]
+
+
+class TestBaselineRatchet:
+    F1 = Finding("a.py", 1, "REP001", "m1")
+    F2 = Finding("a.py", 9, "REP001", "m2")
+    F3 = Finding("b.py", 2, "REP002", "m3")
+
+    def test_group_findings(self):
+        groups = group_findings([self.F1, self.F2, self.F3])
+        assert groups == {"a.py::REP001": 2, "b.py::REP002": 1}
+
+    def test_growth_fails(self):
+        result = compare([self.F1, self.F2], {"a.py::REP001": 1})
+        assert not result.ok
+        # The first finding in line order carries the grandfathered slot.
+        assert result.grandfathered == (self.F1,)
+        assert result.new == (self.F2,)
+
+    def test_within_baseline_ok(self):
+        result = compare([self.F1, self.F2], {"a.py::REP001": 2})
+        assert result.ok
+        assert result.new == ()
+        assert result.stale == {}
+
+    def test_shrink_is_ok_and_reported_stale(self):
+        result = compare([self.F1], {"a.py::REP001": 3, "b.py::REP002": 1})
+        assert result.ok
+        assert result.stale == {"a.py::REP001": 2, "b.py::REP002": 1}
+
+    def test_new_file_fails(self):
+        result = compare([self.F3], {"a.py::REP001": 1})
+        assert not result.ok
+        assert result.new == (self.F3,)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        baseline_mod.save([self.F1, self.F2, self.F3], path)
+        assert baseline_mod.load(path) == {"a.py::REP001": 2, "b.py::REP002": 1}
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert baseline_mod.load(tmp_path / "absent.json") == {}
+
+
+def make_repo(tmp_path, source="import time\nt = time.time()\n"):
+    """A minimal lintable repo: pyproject marker + one in-scope module."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    pkg = tmp_path / "src" / "repro" / "simulate"
+    pkg.mkdir(parents=True)
+    target = pkg / "mod.py"
+    target.write_text(source)
+    return target
+
+
+class TestLintCli:
+    def test_violation_exits_nonzero(self, tmp_path, capsys):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out and "new finding" in out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path), "--update-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+        capsys.readouterr()
+        assert lint_main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[baseline]" in out  # grandfathered debt stays visible
+
+    def test_fixed_debt_reports_stale(self, tmp_path, capsys):
+        target = make_repo(tmp_path)
+        lint_main(["--root", str(tmp_path), "--update-baseline"])
+        target.write_text("x = 1\n")
+        capsys.readouterr()
+        assert lint_main(["--root", str(tmp_path)]) == 0
+        assert "no longer occur" in capsys.readouterr().out
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        make_repo(tmp_path)
+        lint_main(["--root", str(tmp_path), "--update-baseline"])
+        capsys.readouterr()
+        assert lint_main(["--root", str(tmp_path), "--no-baseline"]) == 1
+
+    def test_rules_filter(self, tmp_path):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path), "--rules", "REP001"]) == 0
+        assert lint_main(["--root", str(tmp_path), "--rules", "rep002"]) == 1
+
+    def test_unknown_rule_exits_2(self, tmp_path):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path), "--rules", "REP999"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["new"] and doc["new"][0]["rule"] == "REP002"
+        assert doc["grandfathered"] == []
+
+    def test_repo_at_head_lints_clean(self, capsys):
+        """Self-check: the repository satisfies its own invariants."""
+        assert lint_main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        # The committed baseline holds only experiment-module RNG debt.
+        for line in out.splitlines():
+            if line.endswith("[baseline]"):
+                assert line.startswith("src/repro/experiments/")
+                assert "REP001" in line
+
+
+MYPY_OUTPUT = """\
+src/repro/obs/tracer.py:10: error: Missing return statement  [return]
+src/repro/obs/tracer.py:20: error: Incompatible types  [assignment]
+src/repro/cluster/state.py:5: error: Bad thing  [misc]
+src/repro/cli.py:7: error: Other thing  [misc]
+src/repro/obs/tracer.py:11: note: this is a note, not an error
+Found 4 errors in 3 files (checked 50 source files)
+"""
+
+STRICT_PYPROJECT = """\
+[tool.mypy]
+python_version = "3.11"
+
+[[tool.mypy.overrides]]
+module = "repro.obs.*"
+disallow_untyped_defs = true
+
+[[tool.mypy.overrides]]
+module = "repro.lenient.*"
+check_untyped_defs = true
+"""
+
+
+class TestTypingRatchet:
+    def test_package_of(self):
+        assert typing_ratchet.package_of("src/repro/obs/tracer.py") == "repro.obs"
+        assert typing_ratchet.package_of("src/repro/cli.py") == "repro"
+        assert typing_ratchet.package_of("src/repro/analysis/rules.py") == "repro.analysis"
+
+    def test_parse_mypy_output(self):
+        counts = typing_ratchet.parse_mypy_output(MYPY_OUTPUT)
+        assert counts == {"repro.obs": 2, "repro.cluster": 1, "repro": 1}
+
+    def test_parse_ignores_non_error_lines(self):
+        assert typing_ratchet.parse_mypy_output("Success: no issues found\n") == {}
+
+    def test_strict_packages_from_pyproject(self):
+        strict = typing_ratchet.strict_packages_from_pyproject(STRICT_PYPROJECT)
+        # Only the override carrying the strict flag counts.
+        assert strict == frozenset({"repro.obs"})
+
+    def test_evaluate_ok(self):
+        failures = typing_ratchet.evaluate(
+            {"repro.cluster": 2},
+            {"total_errors": 2, "strict_packages": ["repro.obs"]},
+            frozenset({"repro.obs"}),
+        )
+        assert failures == []
+
+    def test_evaluate_strict_regression_fails(self):
+        failures = typing_ratchet.evaluate(
+            {"repro.obs": 1},
+            {"total_errors": 5, "strict_packages": ["repro.obs"]},
+            frozenset({"repro.obs"}),
+        )
+        assert any("repro.obs regressed" in f for f in failures)
+
+    def test_evaluate_demotion_fails(self):
+        failures = typing_ratchet.evaluate(
+            {},
+            {"total_errors": 0, "strict_packages": ["repro.obs"]},
+            frozenset(),
+        )
+        assert any("demoted" in f for f in failures)
+
+    def test_evaluate_total_growth_fails(self):
+        failures = typing_ratchet.evaluate(
+            {"repro.cluster": 3},
+            {"total_errors": 2, "strict_packages": []},
+            frozenset(),
+        )
+        assert any("grew" in f for f in failures)
+
+    def test_main_with_saved_output(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(STRICT_PYPROJECT)
+        out = tmp_path / "mypy.txt"
+        out.write_text("")
+        baseline = tmp_path / "typing-baseline.json"
+        assert typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(out),
+            "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        doc = json.loads(baseline.read_text())
+        assert doc["total_errors"] == 0
+        assert doc["strict_packages"] == ["repro.obs"]
+        capsys.readouterr()
+        assert typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(out),
+            "--baseline", str(baseline),
+        ]) == 0
+
+    def test_main_fails_on_regression(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(STRICT_PYPROJECT)
+        clean = tmp_path / "clean.txt"
+        clean.write_text("")
+        baseline = tmp_path / "typing-baseline.json"
+        typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(clean),
+            "--baseline", str(baseline), "--update-baseline",
+        ])
+        regressed = tmp_path / "bad.txt"
+        regressed.write_text("src/repro/obs/tracer.py:1: error: boom  [misc]\n")
+        assert typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(regressed),
+            "--baseline", str(baseline),
+        ]) == 1
+
+    def test_main_fails_on_demotion(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(STRICT_PYPROJECT)
+        clean = tmp_path / "clean.txt"
+        clean.write_text("")
+        baseline = tmp_path / "typing-baseline.json"
+        typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(clean),
+            "--baseline", str(baseline), "--update-baseline",
+        ])
+        # Demote repro.obs by dropping its strict override.
+        (tmp_path / "pyproject.toml").write_text("[tool.mypy]\n")
+        assert typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(clean),
+            "--baseline", str(baseline),
+        ]) == 1
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(STRICT_PYPROJECT)
+        out = tmp_path / "mypy.txt"
+        out.write_text("")
+        assert typing_ratchet.main([
+            "--root", str(tmp_path), "--mypy-output", str(out),
+            "--baseline", str(tmp_path / "absent.json"),
+        ]) == 2
+
+    @pytest.mark.skipif(
+        importlib.util.find_spec("mypy") is not None,
+        reason="mypy installed; the skip path is unreachable",
+    )
+    def test_missing_mypy_skips(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(STRICT_PYPROJECT)
+        assert typing_ratchet.main(["--root", str(tmp_path)]) == 0
+        assert typing_ratchet.main(
+            ["--root", str(tmp_path), "--require-mypy"]
+        ) == 2
+
+    def test_repo_strict_promotions_are_baselined(self):
+        """pyproject's strict tier and the committed baseline agree."""
+        strict = typing_ratchet.strict_packages_from_pyproject(
+            (REPO_ROOT / "pyproject.toml").read_text()
+        )
+        assert {"repro.obs", "repro.metrics", "repro.analysis"} <= strict
+        doc = json.loads((REPO_ROOT / "typing-baseline.json").read_text())
+        assert sorted(strict) == doc["strict_packages"]
+        assert doc["total_errors"] == 0

@@ -111,5 +111,5 @@ def test_property_conjunction_is_subset_of_every_posting_list(seed):
         result, _ = intersect_postings(ix, list(q.terms))
         for term in q.terms:
             plist = ix.postings(term)
-            members = set() if plist is None else set(int(d) for d in plist.doc_ids)
-            assert set(int(d) for d in result) <= members
+            members = set() if plist is None else {int(d) for d in plist.doc_ids}
+            assert {int(d) for d in result} <= members

@@ -167,7 +167,7 @@ class TestHistogram:
 
     def test_standard_edge_sets_valid(self):
         for edges in (LATENCY_EDGES_S, UTILIZATION_EDGES):
-            assert all(a < b for a, b in zip(edges, edges[1:]))
+            assert all(a < b for a, b in zip(edges, edges[1:], strict=False))
 
     def test_empty_to_dict(self):
         d = Histogram("h", (1.0,)).to_dict()

@@ -132,7 +132,7 @@ class TestOnlineSimulator:
         )
         reports = sim.run(base_state(), 3)
         cum = [r.cumulative_bytes for r in reports]
-        assert all(a <= b + 1e-9 for a, b in zip(cum, cum[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(cum, cum[1:], strict=False))
 
     def test_exchange_budget_fleet_size_is_conserved(self):
         state = base_state()

@@ -52,7 +52,7 @@ class TestDestroyOperators:
         state = demo_state()
         # machine with the highest peak utilization
         hottest = int(np.argmax(state.machine_peak_utilization()))
-        hot_members = set(int(j) for j in state.machine_shards(hottest))
+        hot_members = {int(j) for j in state.machine_shards(hottest)}
         removed = worst_machine_removal(state, rng(), 2)
         assert set(removed) <= hot_members
 
@@ -73,7 +73,7 @@ class TestDestroyOperators:
         state = demo_state()
         score = (state.loads / state.capacity).sum(axis=1)
         expected = int(np.argmin(np.where(state.shard_counts() > 0, score, np.inf)))
-        expected_members = set(int(j) for j in state.machine_shards(expected))
+        expected_members = {int(j) for j in state.machine_shards(expected)}
         removed = vacancy_removal(state, rng(), 8)
         assert set(removed) == expected_members
         assert state.shard_counts()[expected] == 0

@@ -18,7 +18,7 @@ def replicated_cluster(k=2, logical=4, machines=4, cap=4.0):
     shards = []
     logical_of = []
     for g in range(logical):
-        for r in range(k):
+        for _r in range(k):
             shards.append(
                 Shard(
                     id=len(shards),

@@ -364,7 +364,7 @@ class TestMigrationExecutor:
         cost = model.cost(plan.schedule, state.num_machines)
         assert executor.wave_intervals[0][0] == 2.0
         assert executor.migration_end == pytest.approx(2.0 + cost.makespan_seconds)
-        for (lo, hi), secs in zip(executor.wave_intervals, cost.wave_seconds):
+        for (lo, hi), secs in zip(executor.wave_intervals, cost.wave_seconds, strict=True):
             assert hi - lo == pytest.approx(secs)
 
     def test_derates_restore_after_completion(self):

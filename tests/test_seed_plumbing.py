@@ -1,0 +1,131 @@
+"""Seed-plumbing regression tests (linter rule REP001's runtime twin).
+
+The invariant linter forbids literal/missing RNG seeds statically; these
+tests pin the complementary runtime property for each seeded subsystem:
+the *configured* seed is the one actually driving the RNG — same seed
+reproduces the output bit-for-bit, a different seed changes it.  A
+hard-coded seed hiding behind the config (the PR 2 recovery bug:
+``default_rng(0)`` shadowing ``sra_config.alns.seed``) fails the
+"different seed changes output" half.
+"""
+
+import numpy as np
+
+from repro.algorithms import RandomRestartRebalancer, SRAConfig
+from repro.engine.text import CorpusConfig, generate_corpus, generate_queries
+from repro.online import PopularityDrift
+from repro.recovery import RecoveryPlanner, fail_machine
+from repro.simulate import ServingConfig, simulate_serving
+from repro.simulate.traces import diurnal_rate, nonhomogeneous_arrivals
+from repro.simulate.workprofile import WorkProfile
+from repro.workloads import SyntheticConfig, generate
+
+
+def small_state(seed=0):
+    return generate(
+        SyntheticConfig(
+            num_machines=6, shards_per_machine=4, target_utilization=0.6, seed=seed
+        )
+    )
+
+
+class TestSyntheticWorkloads:
+    def test_same_seed_reproduces(self):
+        a, b = small_state(seed=3), small_state(seed=3)
+        np.testing.assert_array_equal(a.demand, b.demand)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_different_seed_changes_instance(self):
+        a, b = small_state(seed=3), small_state(seed=4)
+        assert not np.array_equal(a.demand, b.demand)
+
+
+class TestTraces:
+    def test_seed_drives_arrivals(self):
+        rate = diurnal_rate(base_rate=20.0, peak_ratio=3.0)
+        a = nonhomogeneous_arrivals(rate, 10.0, seed=1)
+        b = nonhomogeneous_arrivals(rate, 10.0, seed=1)
+        c = nonhomogeneous_arrivals(rate, 10.0, seed=2)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestServingSimulation:
+    def make_report(self, seed):
+        state = small_state()
+        profile = WorkProfile(
+            np.abs(np.random.default_rng(99).normal(1.0, 0.3, size=(20, state.num_shards)))
+        )
+        cfg = ServingConfig(arrival_rate=30.0, duration=5.0, seed=seed)
+        return simulate_serving(state, profile, config=cfg)
+
+    def test_seed_drives_arrival_stream(self):
+        a, b, c = self.make_report(0), self.make_report(0), self.make_report(7)
+        assert a.latency.mean == b.latency.mean
+        assert a.queries_completed == b.queries_completed
+        assert (a.queries_completed, a.latency.mean) != (
+            c.queries_completed, c.latency.mean
+        )
+
+
+class TestTextEngine:
+    def test_corpus_seed(self):
+        cfg_a = CorpusConfig(num_docs=30, vocab_size=50, seed=1)
+        cfg_b = CorpusConfig(num_docs=30, vocab_size=50, seed=2)
+        assert generate_corpus(cfg_a) == generate_corpus(cfg_a)
+        assert generate_corpus(cfg_a) != generate_corpus(cfg_b)
+
+    def test_query_seed_overrides_corpus_default(self):
+        cfg = CorpusConfig(num_docs=10, vocab_size=50, seed=1)
+        default = generate_queries(cfg, 20)
+        explicit_a = generate_queries(cfg, 20, seed=123)
+        explicit_b = generate_queries(cfg, 20, seed=123)
+        assert explicit_a == explicit_b
+        assert explicit_a != default
+
+
+class TestPopularityDrift:
+    def drifted_demand(self, seed):
+        drift = PopularityDrift(drift=0.5, seed=seed)
+        return drift.step(small_state()).demand
+
+    def test_seed_drives_drift(self):
+        np.testing.assert_array_equal(
+            self.drifted_demand(5), self.drifted_demand(5)
+        )
+        assert not np.array_equal(self.drifted_demand(5), self.drifted_demand(6))
+
+
+class TestRandomRestartBaseline:
+    def test_seed_drives_restarts(self):
+        state = small_state()
+        a = RandomRestartRebalancer(restarts=4, seed=1).rebalance(state)
+        b = RandomRestartRebalancer(restarts=4, seed=1).rebalance(state)
+        np.testing.assert_array_equal(a.target_assignment, b.target_assignment)
+        # A different seed explores different constructions; with only 4
+        # restarts on a skewed instance the surviving proposal differs.
+        seeds = [
+            RandomRestartRebalancer(restarts=1, seed=s).rebalance(state)
+            for s in range(6)
+        ]
+        assignments = {tuple(r.target_assignment.tolist()) for r in seeds}
+        assert len(assignments) > 1
+
+    def test_input_state_not_mutated(self):
+        state = small_state()
+        before = state.assignment
+        RandomRestartRebalancer(restarts=2, seed=0).rebalance(state)
+        np.testing.assert_array_equal(state.assignment, before)
+
+
+class TestRecoverySeed:
+    def test_configured_seed_reproduces_plan(self):
+        state = small_state(seed=2)
+        hottest = int(np.argmax(state.machine_peak_utilization()))
+        degraded, orphans = fail_machine(state, hottest)
+        cfg = SRAConfig()
+        a = RecoveryPlanner(sra_config=cfg).recover(degraded.copy(), orphans)
+        b = RecoveryPlanner(sra_config=cfg).recover(degraded.copy(), orphans)
+        assert a.feasible and b.feasible
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+        assert a.rebuild_bytes == b.rebuild_bytes

@@ -35,7 +35,7 @@ class TestSettleFleet:
         assert settlement.retained_borrowed_ids == (3,)
         assert slim.num_machines == 3
         # Machine 3 (borrowed) became machine 2 after re-indexing.
-        assert set(int(j) for j in slim.machine_shards(2)) == {2, 5}
+        assert {int(j) for j in slim.machine_shards(2)} == {2, 5}
         np.testing.assert_allclose(
             slim.loads.sum(axis=0), grown.loads.sum(axis=0)
         )

@@ -104,5 +104,5 @@ class TestSuites:
     def test_suites_are_deterministic(self):
         a = synthetic_suite(utilizations=(0.6,), seeds=(0,), num_machines=10)
         b = synthetic_suite(utilizations=(0.6,), seeds=(0,), num_machines=10)
-        for (_, sa), (_, sb) in zip(a, b):
+        for (_, sa), (_, sb) in zip(a, b, strict=True):
             np.testing.assert_array_equal(sa.assignment, sb.assignment)
