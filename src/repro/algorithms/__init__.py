@@ -18,7 +18,12 @@ from repro.algorithms.destroy import (
 from repro.algorithms.lns import AlnsConfig, AlnsEngine, AlnsOutcome
 from repro.algorithms.objective import Objective, ObjectiveWeights
 from repro.algorithms.portfolio import PortfolioRebalancer
-from repro.algorithms.repair import DEFAULT_REPAIR_OPS, greedy_best_fit, regret2_insertion
+from repro.algorithms.repair import (
+    DEFAULT_REPAIR_OPS,
+    Regret2Insertion,
+    greedy_best_fit,
+    regret2_insertion,
+)
 from repro.algorithms.sra import SRA
 from repro.algorithms.sra_config import SRAConfig
 
@@ -45,6 +50,7 @@ __all__ = [
     "exchange_swap_removal",
     "DEFAULT_DESTROY_OPS",
     "greedy_best_fit",
+    "Regret2Insertion",
     "regret2_insertion",
     "DEFAULT_REPAIR_OPS",
 ]

@@ -71,28 +71,40 @@ def worst_machine_removal(
 ) -> list[int]:
     """Remove the largest shards from the highest-peak machines.
 
-    Walks machines in decreasing peak utilization, removing each one's
-    largest shards, until *quantity* shards are collected.
+    Equivalent to walking machines in decreasing peak utilization and
+    taking each one's largest shards until *quantity* are collected, but
+    implemented as one top-K selection over the peak cache plus one
+    lexsort over the shards of the selected machines — no per-machine
+    Python loop, so the cost scales with the shards actually examined
+    rather than the fleet size.
     """
-    order = np.argsort(-state.machine_peak_utilization())
-    # Group shards by machine once (stable sort keeps each group's ids
-    # ascending, matching machine_shards()) instead of scanning the
-    # assignment array per visited machine.
-    assign = state.assignment_view()
-    by_machine = np.argsort(assign, kind="stable")
-    keys = assign[by_machine]
-    chosen: list[int] = []
-    for i in order:
-        lo, hi = np.searchsorted(keys, (i, i + 1))
-        if lo == hi:
-            continue
-        members = by_machine[lo:hi]
-        members = members[np.argsort(-state.demand[members].sum(axis=1))]
-        room = quantity - len(chosen)
-        chosen.extend(int(j) for j in members[:room])
-        if len(chosen) >= quantity:
+    peaks = state.machine_peak_utilization_view()
+    counts = state.shard_counts_view()
+    m = state.num_machines
+    # Grow K until the K hottest machines hold enough shards (almost
+    # always the first try: quantity is capped and hot machines are full).
+    k = min(4, m)
+    while True:
+        if k < m:
+            top = np.argpartition(-peaks, k - 1)[:k]
+        else:
+            top = np.arange(m)
+        if int(counts[top].sum()) >= quantity or k == m:
             break
-    return _remove(state, chosen)
+        k = min(4 * k, m)
+    # Rank selected machines by peak; unselected machines rank last.
+    top = top[np.argsort(-peaks[top], kind="stable")]
+    rank = np.full(m, m, dtype=np.int64)
+    rank[top] = np.arange(top.size)
+    assign = state.assignment_view()
+    shard_rank = np.where(assign >= 0, rank[np.maximum(assign, 0)], m)
+    sel = np.flatnonzero(shard_rank < m)
+    if sel.size == 0:
+        return []
+    mass = state.demand[sel].sum(axis=1)
+    # Primary key: machine rank (hotter first); secondary: largest shards.
+    order = np.lexsort((-mass, shard_rank[sel]))
+    return _remove(state, sel[order[:quantity]])
 
 
 def shaw_removal(
@@ -109,9 +121,16 @@ def shaw_removal(
         return []
     seed = int(rng.choice(assigned))
     norm = state.normalized_demand()
-    dist = np.abs(norm[assigned] - norm[seed]).sum(axis=1)
+    base = norm if assigned.size == state.num_shards else norm[assigned]
+    dist = np.abs(base - norm[seed]).sum(axis=1)
     take = min(quantity, assigned.size)
-    nearest = assigned[np.argsort(dist)][:take]
+    if take < assigned.size:
+        # Select the `take` nearest, then order just those by distance —
+        # O(n + take log take) instead of a full sort.
+        part = np.argpartition(dist, take - 1)[:take]
+        nearest = assigned[part[np.argsort(dist[part], kind="stable")]]
+    else:
+        nearest = assigned[np.argsort(dist, kind="stable")]
     return _remove(state, nearest)
 
 

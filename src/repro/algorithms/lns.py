@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.algorithms.destroy import DestroyOperator
 from repro.algorithms.repair import RepairOperator
 
 __all__ = ["AlnsConfig", "AlnsOutcome", "AlnsEngine"]
+
+#: Either operator protocol — ``AlnsEngine._bind`` preserves the kind.
+_OpT = TypeVar("_OpT", DestroyOperator, RepairOperator)
 
 
 @dataclass(frozen=True)
@@ -94,6 +97,13 @@ class AlnsConfig:
     #: rejected states bitwise); False keeps the copy-based loop as a
     #: reference implementation.
     delta_evaluation: bool = True
+    #: Largest machine count for which regret-2 re-partitions the full
+    #: active score rows after every insertion; above it the pruned
+    #: top-list path runs.  Both paths yield bitwise-identical
+    #: trajectories (see repro.algorithms.repair), so this is purely a
+    #: performance crossover.  Operators exposing a ``bind`` hook
+    #: (``Regret2Insertion``) receive this config at engine construction.
+    regret2_exact_max: int = 128
 
     def __post_init__(self) -> None:
         check_positive("iterations", self.iterations)
@@ -110,6 +120,7 @@ class AlnsConfig:
         check_positive("segment_length", self.segment_length)
         check_fraction("reaction", self.reaction)
         check_positive("n_workers", self.n_workers)
+        check_positive("regret2_exact_max", self.regret2_exact_max)
 
 
 @dataclass
@@ -141,8 +152,18 @@ class AlnsEngine:
         if not destroy_ops or not repair_ops:
             raise ValueError("need at least one destroy and one repair operator")
         self.config = config
-        self.destroy_ops = list(destroy_ops)
-        self.repair_ops = list(repair_ops)
+        # Operators exposing a ``bind(config)`` hook are resolved against
+        # this engine's config (e.g. Regret2Insertion picks up
+        # regret2_exact_max); plain callables pass through untouched.
+        self.destroy_ops = [self._bind(op) for op in destroy_ops]
+        self.repair_ops = [self._bind(op) for op in repair_ops]
+
+    def _bind(self, op: _OpT) -> _OpT:
+        bind = getattr(op, "bind", None)
+        if bind is None:
+            return op
+        bound: _OpT = bind(self.config)
+        return bound
 
     def run(
         self,
@@ -384,8 +405,17 @@ class AlnsEngine:
 
 
 def _roulette(rng: np.random.Generator, weights: np.ndarray) -> int:
-    p = weights / weights.sum()
-    return int(rng.choice(len(weights), p=p))
+    # Draw one uniform and walk the cumulative mass in Python — the
+    # portfolios have a handful of operators, so this beats the generic
+    # ``rng.choice(p=...)`` machinery by an order of magnitude while
+    # staying deterministic per seed (one ``random()`` call per draw).
+    r = rng.random() * weights.sum()
+    acc = 0.0
+    for i, w in enumerate(weights.tolist()):
+        acc += w
+        if r < acc:
+            return i
+    return len(weights) - 1
 
 
 def _update_weights(

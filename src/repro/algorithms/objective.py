@@ -188,17 +188,23 @@ class IncrementalObjective:
         """All objective terms, bitwise-equal to ``base.components``."""
         base = self.base
         w = base.weights
+        # Block-max peak: bitwise-equal to machine_peak.max() (float max
+        # is exact) but only rescans blocks containing touched machines.
+        peak = state.peak_utilization()
         machine_peak = state.machine_peak_utilization_view()
-        peak = float(machine_peak.max())
         smooth = float(np.mean(machine_peak**2))
 
         assign = state.assignment_view()
         moved = float(base.sizes[assign != base.a0].sum()) / base._total_bytes
 
-        # Zero-overload is the common case; detect it with one comparison
-        # pass.  util > 1 iff load > capacity (capacities are > 0), so the
-        # full relu-sum is exactly 0.0 whenever no load exceeds capacity.
-        if np.any(state.loads > state.capacity):
+        # Zero-overload is the common case; detect it from the peak the
+        # state already maintains.  peak <= 1.0 means every fl(util)
+        # <= 1.0, so the full relu-sum is exactly 0.0; peak > 1.0 means
+        # some entry exceeds 1.0 and the sum is computed in full.  (A
+        # load marginally above capacity whose fl(util) rounds to 1.0
+        # contributes relu = 0.0 either way, so this gate is bitwise
+        # equivalent to comparing loads against capacity.)
+        if peak > 1.0:
             util = state.loads / state.capacity
             overload = float(np.maximum(util - 1.0, 0.0).sum())
         else:

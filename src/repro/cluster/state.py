@@ -16,10 +16,16 @@ evaluation contract" section of docs/ARCHITECTURE.md):
   count (:attr:`num_vacant_in_service`), the unassigned-shard count
   (:meth:`is_fully_assigned` is O(1)), per-machine peak utilization
   (:meth:`machine_peak_utilization`, lazily refreshed for dirty rows
-  only) and the replica anti-affinity conflict count
+  only), a segmented block-max over those peaks (so
+  :meth:`peak_utilization` rescans only blocks containing touched
+  machines), and the replica anti-affinity conflict count
   (:attr:`replica_conflict_count`);
 * ``capacity``, ``demand``, ``loads`` are dense ``float64`` arrays safe to
-  read (but not write) directly;
+  read (but not write) directly; :meth:`loads_by_dim` /
+  :meth:`capacity_by_dim` / :meth:`inv_capacity_by_dim` expose the same
+  data as C-contiguous ``(d, m)`` structure-of-arrays mirrors, the layout
+  the vectorized score kernels consume (see docs/ARCHITECTURE.md, "SoA
+  memory layout");
 * ``copy()`` is a cheap structural copy (arrays copied, descriptions
   shared);
 * ``begin()``/``commit()``/``rollback()`` bracket a transaction: every
@@ -52,6 +58,12 @@ UNASSIGNED: int = -1
 #: costs O(touched) regardless of cluster size.
 _SNAPSHOT_ELEMENT_LIMIT = 65_536
 
+#: Machines per segment of the peak-utilization block-max.  Float ``max``
+#: is exact and associative, so the global peak recomputed from block
+#: maxima is bitwise-identical to a full scan — but after a transaction
+#: touching k machines only ``O(k + m/B)`` elements are rescanned.
+_PEAK_BLOCK = 1024
+
 
 class _Frame:
     """One open transaction: either an array snapshot or an undo journal.
@@ -71,10 +83,14 @@ class _Frame:
         "snapshot",
         "assign",
         "loads",
+        "loads_t",
         "counts",
         "peak",
         "peak_dirty",
         "peak_any_dirty",
+        "peak_block",
+        "block_dirty",
+        "block_any_dirty",
         "blocked",
         "shards",
         "machines",
@@ -90,10 +106,14 @@ class _Frame:
         if snapshot:
             self.assign = state._assign.copy()
             self.loads = state._loads.copy()
+            self.loads_t = state._loads_t.copy()
             self.counts = state._counts.copy()
             self.peak = state._peak.copy()
             self.peak_dirty = state._peak_dirty.copy()
             self.peak_any_dirty = state._peak_any_dirty
+            self.peak_block = state._peak_block.copy()
+            self.block_dirty = state._block_dirty.copy()
+            self.block_any_dirty = state._block_any_dirty
             self.blocked = state._blocked.copy()
         else:
             self.shards: dict[int, int] = {}
@@ -158,6 +178,10 @@ class ClusterState:
         self._sizes = np.array([sh.size_bytes for sh in shards], dtype=np.float64)
         self._exchange_mask = np.array([mach.exchange for mach in machines], dtype=bool)
         self._norm_demand: np.ndarray | None = None  # lazy, shared by copies
+        # Lazy (d, m) SoA mirrors of the immutable capacity matrix, shared
+        # by copies like _norm_demand.
+        self._cap_t: np.ndarray | None = None
+        self._inv_cap_t: np.ndarray | None = None
 
         n = len(shards)
         if assignment is None:
@@ -200,9 +224,21 @@ class ClusterState:
         ).astype(np.int64, copy=False)
         self._num_unassigned = int(np.sum(~placed))
         self._num_vacant = int(np.sum((self._counts == 0) & ~self._offline))
+        # (d, m) C-contiguous SoA mirror of the load matrix, maintained in
+        # lock-step with self._loads by every mutator (see loads_by_dim).
+        self._loads_t = np.ascontiguousarray(self._loads.T)
         self._peak = (self._loads / self._capacity).max(axis=1)
         self._peak_dirty = np.zeros(m, dtype=bool)
         self._peak_any_dirty = False
+        # Segmented block-max over the per-machine peaks: peak_utilization()
+        # rescans only blocks whose members were touched.  Float max is
+        # exact, so the blocked recomputation is bitwise-identical to a
+        # full scan.
+        self._peak_block = np.maximum.reduceat(
+            self._peak, np.arange(0, m, _PEAK_BLOCK)
+        )
+        self._block_dirty = np.zeros(self._peak_block.size, dtype=bool)
+        self._block_any_dirty = False
         # Replica host counters: group -> {machine -> member count}, and
         # the number of (machine, group) pairs hosting > 1 member.
         self._replica_hosts: dict[int, dict[int, int]] = {}
@@ -303,6 +339,32 @@ class ClusterState:
             )
         return self._norm_demand
 
+    def loads_by_dim(self) -> np.ndarray:
+        """The live (d, m) C-contiguous load mirror — do not mutate.
+
+        Row ``k`` is the per-machine load in dimension ``k``, bitwise
+        equal to ``loads[:, k]`` at all times (maintained in lock-step by
+        every mutator and restored by :meth:`rollback`).  This is the
+        structure-of-arrays layout the vectorized score kernels stream
+        over: one contiguous row per resource dimension.
+        """
+        return self._loads_t
+
+    def capacity_by_dim(self) -> np.ndarray:
+        """(d, m) C-contiguous capacity mirror (lazy; shared by copies).
+        Do not mutate."""
+        if self._cap_t is None:
+            self._cap_t = np.ascontiguousarray(self._capacity.T)
+        return self._cap_t
+
+    def inv_capacity_by_dim(self) -> np.ndarray:
+        """(d, m) elementwise ``1.0 / capacity`` mirror (lazy; shared by
+        copies).  Do not mutate.  Capacities are validated strictly
+        positive, so every entry is finite."""
+        if self._inv_cap_t is None:
+            self._inv_cap_t = 1.0 / self.capacity_by_dim()
+        return self._inv_cap_t
+
     # --------------------------------------------------------- transactions
     def begin(self, mode: str = "auto") -> None:
         """Open a transaction; every mutation until :meth:`commit` /
@@ -356,20 +418,27 @@ class ClusterState:
         if fr.snapshot:
             np.copyto(self._assign, fr.assign)
             np.copyto(self._loads, fr.loads)
+            np.copyto(self._loads_t, fr.loads_t)
             np.copyto(self._counts, fr.counts)
             np.copyto(self._peak, fr.peak)
             np.copyto(self._peak_dirty, fr.peak_dirty)
             self._peak_any_dirty = fr.peak_any_dirty
+            np.copyto(self._peak_block, fr.peak_block)
+            np.copyto(self._block_dirty, fr.block_dirty)
+            self._block_any_dirty = fr.block_any_dirty
             np.copyto(self._blocked, fr.blocked)
         else:
             for j, old in fr.shards.items():
                 self._assign[j] = old
             for i, (row, count) in fr.machines.items():
                 self._loads[i] = row
+                self._loads_t[:, i] = row
                 self._counts[i] = count
                 self._peak_dirty[i] = True
+                self._block_dirty[i // _PEAK_BLOCK] = True
             if fr.machines:
                 self._peak_any_dirty = True
+                self._block_any_dirty = True
             for i, old_blocked in fr.blocked_old.items():
                 self._blocked[i] = old_blocked
         for (g, mach), cnt in fr.replica_hosts.items():
@@ -443,6 +512,7 @@ class ClusterState:
             self._journal_shard(fr, shard_id, src)
             self._journal_machine(fr, src)
         self._loads[src] -= self._demand[shard_id]
+        self._loads_t[:, src] = self._loads[src]
         self._assign[shard_id] = UNASSIGNED
         self._num_unassigned += 1
         cnt = int(self._counts[src]) - 1
@@ -452,6 +522,8 @@ class ClusterState:
         if not self._peak_dirty[src]:
             self._peak_dirty[src] = True
             self._peak_any_dirty = True
+            self._block_dirty[src // _PEAK_BLOCK] = True
+            self._block_any_dirty = True
         if self._replica_groups:
             self._host_leave(shard_id, src)
         return src
@@ -474,8 +546,10 @@ class ClusterState:
             srcs = srcs[placed]
             if ids.size == 0:
                 return
-        if np.unique(ids).size != ids.size:
-            raise ValueError("unassign_many: duplicate shard ids")
+        if ids.size > 1:
+            s = np.sort(ids)
+            if bool(np.any(s[1:] == s[:-1])):
+                raise ValueError("unassign_many: duplicate shard ids")
         fr = self._frame
         if fr is not None and not fr.snapshot:
             for j, s in zip(ids.tolist(), srcs.tolist(), strict=True):
@@ -486,12 +560,15 @@ class ClusterState:
         self._assign[ids] = UNASSIGNED
         self._num_unassigned += int(ids.size)
         touched, per = np.unique(srcs, return_counts=True)
+        self._loads_t[:, touched] = self._loads[touched].T
         self._counts[touched] -= per
         self._num_vacant += int(
             np.sum((self._counts[touched] == 0) & ~self._offline[touched])
         )
         self._peak_dirty[touched] = True
         self._peak_any_dirty = True
+        self._block_dirty[touched // _PEAK_BLOCK] = True
+        self._block_any_dirty = True
         if self._replica_groups:
             for j, s in zip(ids.tolist(), srcs.tolist(), strict=True):
                 self._host_leave(int(j), int(s))
@@ -516,6 +593,7 @@ class ClusterState:
             self._journal_machine(fr, machine_id)
         self._assign[shard_id] = machine_id
         self._loads[machine_id] += self._demand[shard_id]
+        self._loads_t[:, machine_id] = self._loads[machine_id]
         self._num_unassigned -= 1
         cnt = int(self._counts[machine_id]) + 1
         self._counts[machine_id] = cnt
@@ -524,6 +602,8 @@ class ClusterState:
         if not self._peak_dirty[machine_id]:
             self._peak_dirty[machine_id] = True
             self._peak_any_dirty = True
+            self._block_dirty[machine_id // _PEAK_BLOCK] = True
+            self._block_any_dirty = True
         if self._replica_groups:
             self._host_enter(shard_id, machine_id)
 
@@ -560,8 +640,21 @@ class ClusterState:
         return self._refreshed_peaks()
 
     def peak_utilization(self) -> float:
-        """Cluster-wide peak utilization (the primary imbalance measure)."""
-        return float(self._refreshed_peaks().max())
+        """Cluster-wide peak utilization (the primary imbalance measure).
+
+        Computed from the segmented block-max: only blocks containing
+        machines touched since the last call are rescanned, then the
+        (short) block vector is reduced.  Bitwise-identical to
+        ``machine_peak_utilization().max()`` because float ``max`` is
+        exact and associative.
+        """
+        peaks = self._refreshed_peaks()
+        if self._block_any_dirty:
+            for b in np.flatnonzero(self._block_dirty).tolist():
+                self._peak_block[b] = peaks[b * _PEAK_BLOCK : (b + 1) * _PEAK_BLOCK].max()
+            self._block_dirty[:] = False
+            self._block_any_dirty = False
+        return float(self._peak_block.max())
 
     def headroom(self) -> np.ndarray:
         """(m, d) remaining capacity (may be negative when overloaded)."""
@@ -743,8 +836,11 @@ class ClusterState:
         dup._sizes = self._sizes
         dup._exchange_mask = self._exchange_mask
         dup._norm_demand = self._norm_demand
+        dup._cap_t = self._cap_t
+        dup._inv_cap_t = self._inv_cap_t
         dup._assign = self._assign.copy()
         dup._loads = self._loads.copy()
+        dup._loads_t = self._loads_t.copy()
         dup._blocked = self._blocked.copy()
         dup._offline = self._offline.copy()
         dup._replica_of = self._replica_of
@@ -755,6 +851,9 @@ class ClusterState:
         dup._peak = self._peak.copy()
         dup._peak_dirty = self._peak_dirty.copy()
         dup._peak_any_dirty = self._peak_any_dirty
+        dup._peak_block = self._peak_block.copy()
+        dup._block_dirty = self._block_dirty.copy()
+        dup._block_any_dirty = self._block_any_dirty
         dup._replica_hosts = {
             g: hosts.copy() for g, hosts in self._replica_hosts.items()
         }
@@ -796,10 +895,20 @@ class ClusterState:
             raise ValueError("unassigned-count cache diverged from the assignment")
         if self._num_vacant != int(np.sum((counts == 0) & ~self._offline)):
             raise ValueError("vacant-count cache diverged from the assignment")
+        if not np.array_equal(self._loads_t, self._loads.T):
+            raise ValueError("SoA load mirror diverged from the load matrix")
         peaks = (self._loads / self._capacity).max(axis=1)
         live = ~self._peak_dirty
         if not np.allclose(self._peak[live], peaks[live], atol=1e-9):
             raise ValueError("peak-utilization cache diverged from the loads")
+        dirty_blocks = np.zeros(self._block_dirty.size, dtype=bool)
+        dirty_blocks[np.flatnonzero(self._peak_dirty) // _PEAK_BLOCK] = True
+        if np.any(dirty_blocks & ~self._block_dirty):
+            raise ValueError("dirty peak row inside a clean block")
+        for b in np.flatnonzero(~self._block_dirty).tolist():
+            seg = self._peak[b * _PEAK_BLOCK : (b + 1) * _PEAK_BLOCK]
+            if self._peak_block[b] != seg.max():
+                raise ValueError(f"block-max cache diverged in block {b}")
         bad = np.flatnonzero(self._blocked & (counts > 0))
         if bad.size:
             raise ValueError(f"blocked machines host shards: {bad.tolist()}")

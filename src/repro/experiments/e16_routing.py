@@ -24,7 +24,7 @@ _PPCS = 2e5
 
 
 @register("e16")
-def run(fast: bool = True) -> list[dict]:
+def run(fast: bool = True, *, placement_seed: int = 41) -> list[dict]:
     num_docs = 3000 if fast else 15000
     num_logical = 16 if fast else 32
     num_machines = 6 if fast else 12
@@ -53,7 +53,9 @@ def run(fast: bool = True) -> list[dict]:
 
     rows = []
     for k in (1, 2):
-        state, logical_of = _replicated_cluster(machines, logical_demand, k)
+        state, logical_of = _replicated_cluster(
+            machines, logical_demand, k, placement_seed
+        )
         balanced = _rebalance(state, iterations)
         for policy in ("random", "round_robin", "least_loaded"):
             report = simulate_routed_serving(
@@ -73,7 +75,7 @@ def run(fast: bool = True) -> list[dict]:
     return rows
 
 
-def _replicated_cluster(machines, logical_demand, k):
+def _replicated_cluster(machines, logical_demand, k, placement_seed):
     shards = []
     logical_of = []
     n_logical = logical_demand.shape[0]
@@ -87,7 +89,7 @@ def _replicated_cluster(machines, logical_demand, k):
                 )
             )
             logical_of.append(g)
-    rng = np.random.default_rng(41)
+    rng = np.random.default_rng(placement_seed)
     m = len(machines)
     assign = []
     for _g in range(n_logical):

@@ -41,7 +41,7 @@ _BUCKETS = 6
 
 
 @register("e18")
-def run(fast: bool = True) -> list[dict]:
+def run(fast: bool = True, *, placement_seed: int = 7) -> list[dict]:
     num_docs = 4000 if fast else 20000
     num_shards = 24 if fast else 48
     num_machines = 6 if fast else 12
@@ -63,7 +63,7 @@ def run(fast: bool = True) -> list[dict]:
     machines = Machine.homogeneous(
         num_machines, {n: float(c) for n, c in zip(shards[0].schema.names, capacity, strict=True)}
     )
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(placement_seed)
     weights = rng.dirichlet(np.full(num_machines, 0.8))
     assign = _biased_feasible_placement(demand, capacity, weights, rng)
     state = ClusterState(machines, shards, assign)

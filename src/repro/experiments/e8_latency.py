@@ -31,7 +31,7 @@ _POSTINGS_PER_CPU_SECOND = 2e5
 
 
 @register("e8")
-def run(fast: bool = True) -> list[dict]:
+def run(fast: bool = True, *, placement_seed: int = 7) -> list[dict]:
     num_docs = 4000 if fast else 20000
     num_shards = 24 if fast else 48
     num_machines = 6 if fast else 12
@@ -58,7 +58,7 @@ def run(fast: bool = True) -> list[dict]:
     )
 
     # Skewed initial placement (capacity-feasible first-fit on a biased order).
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(placement_seed)
     weights = rng.dirichlet(np.full(num_machines, 1.5))
     assign = _biased_feasible_placement(demand, capacity, weights, rng)
     state = ClusterState(machines, shards, assign)

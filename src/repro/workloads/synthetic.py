@@ -211,14 +211,14 @@ def _repair_feasibility(
     loads = np.zeros_like(capacity)
     np.add.at(loads, assign, demands)
 
-    def overload(i: int) -> float:
-        return float(np.max(loads[i] / capacity[i]))
-
     for _ in range(4 * demands.shape[0]):
         over = np.flatnonzero(np.any(loads > capacity + 1e-9, axis=1))
         if over.size == 0:
             return assign
-        i = over[np.argmax([overload(k) for k in over])]
+        # Vectorized most-overloaded pick (bitwise the same arithmetic as
+        # a per-machine Python fold — this runs once per move, and fleet
+        # instances need tens of thousands of moves).
+        i = over[np.argmax((loads[over] / capacity[over]).max(axis=1))]
         members = np.flatnonzero(assign == i)
         moved = False
         for j in members[np.argsort(-demands[members].sum(axis=1))]:

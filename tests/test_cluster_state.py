@@ -211,6 +211,47 @@ def test_property_loads_match_recompute_after_moves(data):
     np.testing.assert_allclose(state.loads, fresh.loads, atol=1e-9)
 
 
+class TestSoAMirrors:
+    def test_loads_by_dim_tracks_mutations(self):
+        state = small_cluster()
+        assert state.loads_by_dim().flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(state.loads_by_dim(), state.loads.T)
+        state.move(0, 2)
+        state.unassign(1)
+        state.assign_shard(1, 1)
+        np.testing.assert_array_equal(state.loads_by_dim(), state.loads.T)
+        state.validate()
+
+    def test_loads_by_dim_restored_by_rollback(self):
+        state = small_cluster()
+        before = state.loads_by_dim().copy()
+        state.begin()
+        state.move(0, 2)
+        state.unassign_many([1, 2])
+        state.rollback()
+        np.testing.assert_array_equal(state.loads_by_dim(), before)
+        state.validate()
+
+    def test_capacity_mirrors_shared_across_copies(self):
+        state = small_cluster()
+        inv = state.inv_capacity_by_dim()
+        np.testing.assert_array_equal(inv, (1.0 / state.capacity).T)
+        clone = state.copy()
+        assert clone.capacity_by_dim() is state.capacity_by_dim()
+        assert clone.inv_capacity_by_dim() is inv
+
+    def test_block_max_peak_after_partial_updates(self):
+        # Exercise the segmented block-max: dirty one machine, read the
+        # peak, then dirty another and read again — both reads must equal
+        # the full recompute.
+        state = small_cluster(m=5, n=10, cap=10.0, dem=2.0)
+        for shard, dst in ((0, 4), (1, 3), (2, 4)):
+            state.move(shard, dst)
+            expected = float((state.loads / state.capacity).max())
+            assert state.peak_utilization() == expected
+        state.validate()
+
+
 @given(cluster_and_moves())
 @settings(max_examples=60, deadline=None)
 def test_property_total_load_is_conserved(data):

@@ -6,6 +6,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import (
+    AlnsConfig,
+    AlnsEngine,
+    Objective,
+    Regret2Insertion,
     greedy_best_fit,
     random_removal,
     regret2_insertion,
@@ -13,6 +17,8 @@ from repro.algorithms import (
     vacancy_removal,
     worst_machine_removal,
 )
+from repro.algorithms.destroy import DEFAULT_DESTROY_OPS
+from repro.algorithms.repair import DEFAULT_REPAIR_OPS
 from repro.cluster import ClusterState, Machine, Shard
 from repro.workloads import SyntheticConfig, generate
 
@@ -127,6 +133,76 @@ class TestRepairOperators:
         removed = worst_machine_removal(work, rng(), 10)
         greedy_best_fit(work, rng(), removed)
         assert work.peak_utilization() <= state.peak_utilization() + 1e-9
+
+
+class TestRegret2Gate:
+    """The exact/pruned size gate is a pure performance crossover: both
+    paths must produce bitwise-identical placements (and therefore
+    bitwise-identical engine trajectories)."""
+
+    def test_invalid_exact_max_rejected(self):
+        with pytest.raises(ValueError, match="exact_max"):
+            Regret2Insertion(0)
+
+    @pytest.mark.parametrize("seed", [0, 5, 11])
+    def test_pruned_matches_exact_operator_level(self, seed):
+        state = generate(
+            SyntheticConfig(num_machines=40, shards_per_machine=5, seed=seed)
+        )
+        exact_state, pruned_state = state.copy(), state.copy()
+        removed = random_removal(exact_state, np.random.default_rng(seed), 25)
+        pruned_state.unassign_many(removed)
+        # exact_max=1 forces the pruned path at every size; a huge gate
+        # forces the exact path.
+        Regret2Insertion(exact_max=10**9)(exact_state, rng(), removed)
+        Regret2Insertion(exact_max=1)(pruned_state, rng(), removed)
+        np.testing.assert_array_equal(
+            exact_state.assignment, pruned_state.assignment
+        )
+
+    def test_pruned_matches_exact_with_replicas_and_blocked(self):
+        machines = Machine.homogeneous(12, 30.0)
+        shards = [
+            Shard(id=j, demand=np.full(3, 1.0 + (j % 5)), replica_of=j // 3)
+            for j in range(24)
+        ]
+        state = ClusterState(machines, shards, [j % 12 for j in range(24)])
+        # Remove the evens plus machine 7's hosts so it can be blocked.
+        removed = sorted(set(range(0, 24, 2)) | {7, 19})
+        state.unassign_many(removed)
+        state.block_machine(7)
+        exact_state, pruned_state = state.copy(), state.copy()
+        Regret2Insertion(exact_max=10**9)(exact_state, rng(), removed)
+        Regret2Insertion(exact_max=1)(pruned_state, rng(), removed)
+        np.testing.assert_array_equal(
+            exact_state.assignment, pruned_state.assignment
+        )
+
+    def test_engine_trajectory_identical_across_gate(self):
+        state = generate(
+            SyntheticConfig(num_machines=30, shards_per_machine=5, seed=2)
+        )
+        results = []
+        for gate in (1, 10**9):
+            cfg = AlnsConfig(iterations=120, seed=7, regret2_exact_max=gate)
+            engine = AlnsEngine(cfg, DEFAULT_DESTROY_OPS, DEFAULT_REPAIR_OPS)
+            obj = Objective(state.assignment, state.sizes)
+            results.append(engine.run(state.copy(), obj))
+        pruned, exact = results
+        assert repr(pruned.best_objective) == repr(exact.best_objective)
+        assert pruned.accepted == exact.accepted
+        assert pruned.history == exact.history
+        np.testing.assert_array_equal(pruned.best_assignment, exact.best_assignment)
+
+    def test_bind_resolves_gate_from_config(self):
+        bound = regret2_insertion.bind(AlnsConfig(regret2_exact_max=7))
+        assert bound.exact_max == 7
+        assert bound is not regret2_insertion  # default instance untouched
+        assert regret2_insertion.exact_max is None
+
+    def test_explicit_gate_wins_over_config(self):
+        op = Regret2Insertion(exact_max=3)
+        assert op.bind(AlnsConfig(regret2_exact_max=500)) is op
 
 
 @given(seed=st.integers(min_value=0, max_value=100), q=st.integers(min_value=1, max_value=20))

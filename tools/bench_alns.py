@@ -32,6 +32,14 @@ Modes
     committed baseline (informational — speedups are hardware-bound by
     the runner's core count, so they are never gated).
 
+``--scale-smoke``
+    Fleet-scale CI row: run the ``SCALE_SMOKE_SIZES`` instance(s)
+    (m2000 — large enough to exercise the pruned regret-2 / SoA-kernel
+    path the small smoke sizes never reach).  Throughput is printed and
+    compared against the committed baseline but **informational only**;
+    the run fails solely when it exceeds ``--max-seconds`` (hang /
+    order-of-magnitude-regression guard).
+
 ``--trace-on``
     Run every measurement under an *active* observability bundle
     (``repro.obs``), so the smoke gate bounds the overhead of
@@ -52,6 +60,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
 import time
 from pathlib import Path
@@ -103,11 +112,20 @@ FULL_SIZES: dict[tuple[int, int], int] = {
     (100, 6): 800,
     (200, 6): 500,
     (400, 6): 300,
+    (2000, 6): 150,
+    (10000, 6): 60,
 }
 #: Subset + budgets used by --smoke (kept short for CI).
 SMOKE_SIZES: dict[tuple[int, int], int] = {
     (50, 6): 500,
     (400, 6): 150,
+}
+#: Fleet-scale row exercised by --scale-smoke: the pruned regret-2 /
+#: SoA-kernel path that the small smoke sizes never reach.  Throughput
+#: is informational on PRs (hardware varies); only the wall-clock cap
+#: gates, catching hangs and pathological slowdowns.
+SCALE_SMOKE_SIZES: dict[tuple[int, int], int] = {
+    (2000, 6): 120,
 }
 SEED = 1
 
@@ -120,6 +138,89 @@ def _engine(iterations: int, *, delta: bool = True, **kw) -> AlnsEngine:
 def _objective(state, *, incremental: bool = True):
     base = Objective(state.assignment, state.sizes)
     return IncrementalObjective(base) if incremental else base
+
+
+def _peak_rss_mb() -> float:
+    """Process peak resident set so far, in MB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+class _TimedOp:
+    """Destroy/repair operator proxy accumulating wall-clock into *acc*."""
+
+    def __init__(self, op, acc: dict, key: str) -> None:
+        self._op = op
+        self._acc = acc
+        self._key = key
+        self.__name__ = op.__name__
+
+    def bind(self, config):
+        bind = getattr(self._op, "bind", None)
+        if bind is None:
+            return self
+        return _TimedOp(bind(config), self._acc, self._key)
+
+    def __call__(self, *args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return self._op(*args, **kwargs)
+        finally:
+            self._acc[self._key] += time.perf_counter() - t0
+
+
+class _TimedObjective:
+    """Objective proxy timing evaluations; everything else passes through."""
+
+    def __init__(self, objective, acc: dict) -> None:
+        self._objective = objective
+        self._acc = acc
+
+    def __call__(self, state):
+        t0 = time.perf_counter()
+        try:
+            return self._objective(state)
+        finally:
+            self._acc["objective"] += time.perf_counter() - t0
+
+    def __getattr__(self, name):
+        return getattr(self._objective, name)
+
+
+def _measure_phases(m: int, spm: int, iterations: int) -> dict[str, float]:
+    """Per-phase wall-clock fractions of one engine run.
+
+    Runs a *separate* instrumented run (the timing hooks themselves cost
+    a few percent, so they are kept out of the throughput numbers) and
+    reports the fraction of wall-clock spent in each phase: destroy and
+    repair operators, objective evaluations, the state's begin/commit/
+    rollback journal, and everything else (acceptance, weights, RNG).
+    """
+    ((_, state),) = list(scaling_suite(sizes=((m, spm),)))
+    acc = {"destroy": 0.0, "repair": 0.0, "objective": 0.0, "journal": 0.0}
+    cfg = AlnsConfig(iterations=iterations, seed=SEED, delta_evaluation=True)
+    engine = AlnsEngine(
+        cfg,
+        tuple(_TimedOp(op, acc, "destroy") for op in DEFAULT_DESTROY_OPS),
+        tuple(_TimedOp(op, acc, "repair") for op in DEFAULT_REPAIR_OPS),
+    )
+    run_state = state.copy()
+    for name in ("begin", "commit", "rollback"):
+        orig = getattr(run_state, name)
+
+        def timed(orig=orig):
+            t0 = time.perf_counter()
+            try:
+                return orig()
+            finally:
+                acc["journal"] += time.perf_counter() - t0
+
+        setattr(run_state, name, timed)
+    t0 = time.perf_counter()
+    engine.run(run_state, _TimedObjective(_objective(state), acc))
+    total = time.perf_counter() - t0
+    out = {key: value / total for key, value in acc.items()}
+    out["other"] = max(0.0, 1.0 - sum(out.values()))
+    return out
 
 
 def _measure_size(
@@ -143,6 +244,7 @@ def _measure_size(
         "its_per_sec": best_rate,
         "best": out.best_objective,
         "accepted": out.accepted,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
     }
     if budget is not None:
         timed = _run_observed(
@@ -155,14 +257,26 @@ def _measure_size(
     return name, row
 
 
-def run_matrix(sizes: dict, budget: float | None, repeats: int = 1) -> dict[str, dict]:
+def run_matrix(
+    sizes: dict, budget: float | None, repeats: int = 1, phases: bool = False
+) -> dict[str, dict]:
     results: dict[str, dict] = {}
     for (m, spm), iterations in sizes.items():
         name, row = _measure_size(m, spm, iterations, budget, repeats)
+        if phases:
+            row["phases"] = {
+                key: round(value, 4)
+                for key, value in _measure_phases(m, spm, min(iterations, 300)).items()
+            }
         results[name] = row
         line = f"{name:24s} {row['its_per_sec']:8.1f} it/s  best={row['best']:.6f}"
         if budget is not None:
             line += f"  best@{budget:g}s={row['best_at_budget']:.6f}"
+        line += f"  rss={row['peak_rss_mb']:.0f}MB"
+        if phases:
+            line += "  [" + " ".join(
+                f"{key}={value:.0%}" for key, value in row["phases"].items()
+            ) + "]"
         print(line)
     return results
 
@@ -228,7 +342,7 @@ def cmd_parallel() -> int:
 
 
 def cmd_update(budget: float) -> int:
-    results = run_matrix(FULL_SIZES, budget)
+    results = run_matrix(FULL_SIZES, budget, repeats=2, phases=True)
     print("smoke baselines (best of 3):")
     smoke = run_matrix(SMOKE_SIZES, budget=None, repeats=3)
     print("parallel restart scaling:")
@@ -239,10 +353,17 @@ def cmd_update(budget: float) -> int:
             "seed": SEED,
             "budget_seconds": budget,
             "note": (
-                "its_per_sec is hardware-dependent; the CI smoke gate "
-                "compares against this file with a wide tolerance.  The "
-                "parallel section is informational only (speedup is "
-                "bounded by the measuring machine's core count)."
+                "its_per_sec is hardware-dependent (single-core speed "
+                "dominates; recorded as best-of-2 per full row, best-of-3 "
+                "per smoke row); the CI smoke gate compares against this "
+                "file with a wide tolerance and the scale rows "
+                "(scale-m2000/scale-m10000, pruned regret-2 path) are "
+                "informational on PRs.  peak_rss_mb is the process "
+                "high-water mark after the row ran (monotone across "
+                "rows); phases are wall-clock fractions from a separate "
+                "instrumented run.  The parallel section is "
+                "informational only (speedup is bounded by the "
+                "measuring machine's core count)."
             ),
         },
         "results": results,
@@ -279,6 +400,35 @@ def cmd_smoke(tolerance: float) -> int:
         return 1
     mode = "tracer-on" if TRACE_ON else "tracer-off"
     print(f"smoke ok ({mode}, within {tolerance:.0%} of committed baseline)")
+    return 0
+
+
+def cmd_scale_smoke(max_seconds: float) -> int:
+    """Fleet-scale smoke: exercise the pruned regret-2 path end to end.
+
+    Throughput is printed (and compared against the committed baseline
+    when the scale row exists) but never gated — PR runners vary too
+    much for fleet-size numbers to be stable.  The only failure mode is
+    the wall-clock cap, which catches hangs and order-of-magnitude
+    regressions.
+    """
+    t0 = time.perf_counter()
+    results = run_matrix(SCALE_SMOKE_SIZES, budget=None, phases=True)
+    wall = time.perf_counter() - t0
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text()).get("results", {})
+        for name, row in results.items():
+            ref = baseline.get(name)
+            if ref:
+                ratio = row["its_per_sec"] / ref["its_per_sec"]
+                print(f"  {name}: {ratio:.2f}x committed baseline it/s (informational)")
+    if wall > max_seconds:
+        print(
+            f"scale smoke exceeded wall-clock cap: {wall:.0f}s > {max_seconds:.0f}s",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"scale smoke ok in {wall:.0f}s (cap {max_seconds:.0f}s; it/s informational)")
     return 0
 
 
@@ -327,8 +477,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="restart fan-out scaling at 1/2/4 workers (informational)",
     )
+    mode.add_argument(
+        "--scale-smoke",
+        action="store_true",
+        help="fleet-scale row (pruned regret-2 path), wall-clock capped",
+    )
     parser.add_argument(
         "--budget", type=float, default=2.0, help="anytime budget in seconds"
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=420.0,
+        help="wall-clock cap for --scale-smoke",
     )
     parser.add_argument(
         "--tolerance",
@@ -360,7 +521,9 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_check()
         if args.parallel:
             return cmd_parallel()
-        results = run_matrix(FULL_SIZES, args.budget)
+        if args.scale_smoke:
+            return cmd_scale_smoke(args.max_seconds)
+        results = run_matrix(FULL_SIZES, args.budget, phases=True)
         if BASELINE_PATH.exists():
             baseline = json.loads(BASELINE_PATH.read_text())["results"]
             print("\nvs committed baseline:")
