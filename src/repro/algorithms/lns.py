@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Protocol, Sequence, TypeVar
 
 import numpy as np
 
@@ -28,7 +28,34 @@ from repro.cluster import ClusterState
 from repro.algorithms.destroy import DestroyOperator
 from repro.algorithms.repair import RepairOperator
 
-__all__ = ["AlnsConfig", "AlnsOutcome", "AlnsEngine"]
+__all__ = ["AlnsConfig", "AlnsOutcome", "AlnsEngine", "IncumbentChannel"]
+
+
+class IncumbentChannel(Protocol):
+    """Duck type of a cooperative incumbent-exchange endpoint.
+
+    Implemented by :class:`repro.parallel.shm.IncumbentExchange`; the
+    engine depends only on this protocol so the algorithms layer stays
+    independent of the parallel machinery.  Every ``period`` iterations
+    the engine offers its incumbent best and adopts a strictly better
+    foreign one.  The channel owner guarantees published incumbents
+    passed the same best filter the adopter would apply (all portfolio
+    members run one episode's filter), so adoption skips re-filtering.
+    """
+
+    period: int
+
+    def offer(
+        self, objective: float, assignment: np.ndarray, blocked: np.ndarray
+    ) -> bool:
+        """Publish; True when the slot was taken over."""
+        ...
+
+    def take(
+        self, objective: float
+    ) -> tuple[float, np.ndarray, np.ndarray] | None:
+        """A strictly better foreign incumbent, or None."""
+        ...
 
 #: Either operator protocol — ``AlnsEngine._bind`` preserves the kind.
 _OpT = TypeVar("_OpT", DestroyOperator, RepairOperator)
@@ -138,6 +165,10 @@ class AlnsOutcome:
     operator_weights: dict[str, float]
     accepted: int
     rejected_by_filter: int
+    #: Cooperative-mode traffic (zero in blind mode): incumbents this
+    #: run published to / adopted from the exchange channel.
+    exchange_published: int = 0
+    exchange_adopted: int = 0
 
 
 class AlnsEngine:
@@ -172,6 +203,7 @@ class AlnsEngine:
         *,
         best_filter: Callable[[ClusterState], bool] | None = None,
         initial_is_valid_best: bool = True,
+        exchange: IncumbentChannel | None = None,
     ) -> AlnsOutcome:
         """Search from *state* (not mutated).
 
@@ -187,6 +219,16 @@ class AlnsEngine:
         initial_is_valid_best:
             Whether the starting assignment is an acceptable answer
             (False when e.g. the vacancy contract is not yet satisfied).
+        exchange:
+            Optional cooperative incumbent channel.  When given, every
+            ``exchange.period`` iterations the engine publishes its
+            incumbent best and adopts a strictly better foreign one
+            (resetting the current state to it).  ``None`` (blind mode)
+            leaves the trajectory bitwise-identical to an engine without
+            the hook.  Adoption makes the trajectory depend on the
+            *timing* of other portfolio members, so cooperative runs
+            are only reproducible run-to-run in the serial portfolio;
+            exchange events are traced for auditing.
         """
         cfg = self.config
         tracer = obs.current().tracer
@@ -221,6 +263,8 @@ class AlnsEngine:
         it = 0
         use_delta = cfg.delta_evaluation
 
+        published = 0
+        adopted = 0
         with tracer.span(
             "alns.run",
             iterations=cfg.iterations,
@@ -228,12 +272,15 @@ class AlnsEngine:
             initial_objective=cur_obj,
         ) as run_span:
             try:
-                it, accepted, vetoed, best_assignment, best_obj, cur_obj = self._search(
+                (
+                    it, accepted, vetoed, best_assignment, best_obj, cur_obj,
+                    published, adopted,
+                ) = self._search(
                     cfg, rng, current, objective, best_filter,
                     best_assignment, best_obj, cur_obj, temperature,
                     q_min, q_max, d_weights, r_weights, d_scores, r_scores,
                     d_uses, r_uses, history, started, use_delta,
-                    tracer, trace_on,
+                    tracer, trace_on, exchange,
                 )
             finally:
                 run_span.set("iterations_run", it)
@@ -241,10 +288,16 @@ class AlnsEngine:
                 run_span.set("rejected_by_filter", vetoed)
                 if math.isfinite(best_obj):
                     run_span.set("best_objective", best_obj)
+                if exchange is not None:
+                    run_span.set("exchange_published", published)
+                    run_span.set("exchange_adopted", adopted)
 
         metrics.counter("alns.iterations").inc(it)
         metrics.counter("alns.accepted").inc(accepted)
         metrics.counter("alns.rejected_by_filter").inc(vetoed)
+        if exchange is not None:
+            metrics.counter("alns.exchange.published").inc(published)
+            metrics.counter("alns.exchange.adopted").inc(adopted)
         if math.isfinite(best_obj):
             metrics.gauge("alns.best_objective").set(best_obj)
 
@@ -263,6 +316,8 @@ class AlnsEngine:
             operator_weights=weights,
             accepted=accepted,
             rejected_by_filter=vetoed,
+            exchange_published=published,
+            exchange_adopted=adopted,
         )
 
     def _search(
@@ -289,16 +344,30 @@ class AlnsEngine:
         use_delta: bool,
         tracer,
         trace_on: bool,
-    ) -> tuple[int, int, int, np.ndarray | None, float, float]:
+        exchange: IncumbentChannel | None = None,
+    ) -> tuple[int, int, int, np.ndarray | None, float, float, int, int]:
         """The inner loop of :meth:`run` (split out so the run span wraps it).
 
         Mutates the weight/score arrays and *history* in place; RNG
         consumption is identical with tracing on or off (the trajectory
-        bitwise-identity contract of docs/ARCHITECTURE.md).
+        bitwise-identity contract of docs/ARCHITECTURE.md).  With
+        *exchange* set, incumbents additionally carry the blocked-mask
+        snapshot they were recorded under — the exchange-swap operator
+        re-designates return machines during search, so an adopted
+        assignment is only consistent together with its publisher's
+        blocked set.
         """
         accepted = 0
         vetoed = 0
         it = 0
+        published = 0
+        adopted = 0
+        # Blocked mask travelling with the incumbent best (cooperative
+        # mode only; never touched in blind mode so that path stays
+        # bitwise-identical to the hook-free engine).
+        best_blocked: np.ndarray | None = None
+        if exchange is not None and best_assignment is not None:
+            best_blocked = current.blocked_mask.copy()
 
         for it in range(1, cfg.iterations + 1):
             # repro: allow-wall-clock (real-time search budget)
@@ -338,6 +407,11 @@ class AlnsEngine:
                     best_obj = cand_obj
                     score = cfg.score_best
                     new_best = True
+                    if exchange is not None:
+                        # Snapshot now: a rejected candidate's mask is
+                        # rolled back, but the recorded best keeps the
+                        # designee set it was feasible under.
+                        best_blocked = candidate.blocked_mask.copy()
                 else:
                     vetoed += 1
                     was_vetoed = True
@@ -401,7 +475,46 @@ class AlnsEngine:
                         },
                     )
 
-        return it, accepted, vetoed, best_assignment, best_obj, cur_obj
+            if exchange is not None and it % exchange.period == 0:
+                if (
+                    best_assignment is not None
+                    and best_blocked is not None
+                    and exchange.offer(best_obj, best_assignment, best_blocked)
+                ):
+                    published += 1
+                    if trace_on:
+                        tracer.event(
+                            "alns.exchange.publish", it=it, objective=best_obj
+                        )
+                foreign = exchange.take(best_obj)
+                if foreign is not None:
+                    adopt_obj, adopt_assign, adopt_blocked = foreign
+                    # Reconcile the designated-return (blocked) set before
+                    # swapping assignments: locally blocked machines may
+                    # host shards under the foreign assignment, and the
+                    # foreign designees are vacant under it by the
+                    # publisher's invariant.
+                    local_blocked = current.blocked_mask
+                    for mach in np.flatnonzero(local_blocked & ~adopt_blocked).tolist():
+                        current.unblock_machine(int(mach))
+                    to_block = np.flatnonzero(adopt_blocked & ~local_blocked)
+                    current.apply_assignment(adopt_assign)
+                    for mach in to_block.tolist():
+                        current.block_machine(int(mach))
+                    cur_obj = float(objective(current))
+                    best_assignment = adopt_assign
+                    best_obj = cur_obj
+                    best_blocked = adopt_blocked
+                    adopted += 1
+                    if trace_on:
+                        tracer.event(
+                            "alns.exchange.adopt",
+                            it=it,
+                            objective=cur_obj,
+                            offered=adopt_obj,
+                        )
+
+        return it, accepted, vetoed, best_assignment, best_obj, cur_obj, published, adopted
 
 
 def _roulette(rng: np.random.Generator, weights: np.ndarray) -> int:

@@ -34,7 +34,7 @@ from repro.algorithms.destroy import (
     shaw_removal,
     worst_machine_removal,
 )
-from repro.algorithms.lns import AlnsEngine
+from repro.algorithms.lns import AlnsEngine, IncumbentChannel
 from repro.algorithms.objective import IncrementalObjective, Objective
 from repro.algorithms.repair import DEFAULT_REPAIR_OPS, RepairOperator
 from repro.algorithms.sra_config import SRAConfig
@@ -56,8 +56,17 @@ class SRA(Rebalancer):
 
     name = "sra"
 
-    def __init__(self, config: SRAConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SRAConfig | None = None,
+        *,
+        exchange: "IncumbentChannel | None" = None,
+    ) -> None:
         self.config = config or SRAConfig()
+        #: Cooperative incumbent channel handed through to the engine
+        #: (installed by ``run_sra_restarts`` on portfolio members; None
+        #: for the ordinary blind search).
+        self.exchange = exchange
 
     # ------------------------------------------------------------------ API
     def rebalance(
@@ -75,6 +84,8 @@ class SRA(Rebalancer):
                 config=cfg,
                 restarts=cfg.restarts,
                 n_workers=cfg.alns.n_workers,
+                cooperative=cfg.cooperative,
+                exchange_period=cfg.exchange_period,
             )
             return report.best
         started = time.perf_counter()  # repro: allow-wall-clock (runtime reporting)
@@ -126,6 +137,7 @@ class SRA(Rebalancer):
                 IncrementalObjective(objective, cross_check=cfg.debug_cross_check),
                 best_filter=best_filter,
                 initial_is_valid_best=initial_valid,
+                exchange=self.exchange,
             )
 
         target = (

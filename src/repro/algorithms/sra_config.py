@@ -45,6 +45,17 @@ class SRAConfig:
         runs with seed ``spawn_seeds(alns.seed, K)[k]`` and the best
         feasible result wins.  The restart set is a pure function of the
         master seed, so results are identical for any worker count.
+    cooperative:
+        Portfolio mode for the restart fan-out: when True, restarts
+        periodically publish/adopt incumbents through a shared
+        best-solution slot instead of searching blind (see
+        ``repro.parallel.shm``).  Opt-in because adoption couples the
+        trajectories to worker *timing*: results are no longer
+        bitwise-reproducible across runs or worker counts (exchange
+        events are recorded via obs for auditing).  Ignored when
+        ``restarts == 1``.
+    exchange_period:
+        Iterations between incumbent-exchange polls in cooperative mode.
     seed:
         Convenience override for ``alns.seed``.
     n_workers:
@@ -64,6 +75,8 @@ class SRAConfig:
     polish: bool = True
     polish_steps: int = 3000
     restarts: int = 1
+    cooperative: bool = False
+    exchange_period: int = 50
     seed: int | None = None
     n_workers: int | None = None
     debug_cross_check: bool = False
@@ -73,6 +86,8 @@ class SRAConfig:
             raise ValueError("max_hops_per_shard must be >= 1")
         if self.restarts < 1:
             raise ValueError("restarts must be >= 1")
+        if self.exchange_period < 1:
+            raise ValueError("exchange_period must be >= 1")
         overrides = {}
         if self.seed is not None:
             overrides["seed"] = self.seed

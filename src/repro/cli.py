@@ -111,7 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         reb.add_argument("--workers", type=int, default=1, metavar="N",
                          help="worker processes the restarts are fanned "
                               "across (1 = serial; results are identical for "
-                              "any worker count)")
+                              "any worker count unless --cooperative)")
+        reb.add_argument("--cooperative", action="store_true",
+                         help="let restarts exchange incumbents through a "
+                              "shared best-solution slot (portfolio search; "
+                              "pooled results become timing-dependent, serial "
+                              "stays deterministic)")
         reb.add_argument("--out", default=None,
                          help="write the rebalanced snapshot here")
         _add_obs_arguments(reb)
@@ -286,6 +291,7 @@ def _make_algorithm(args: argparse.Namespace):
                 alns=AlnsConfig(iterations=args.iterations, seed=args.seed),
                 restarts=args.restarts,
                 n_workers=args.workers,
+                cooperative=args.cooperative,
             )
         )
     if args.algorithm == "local-search":

@@ -37,6 +37,7 @@ evaluation contract" section of docs/ARCHITECTURE.md):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -860,6 +861,121 @@ class ClusterState:
         dup._replica_conflicts = self._replica_conflicts
         dup._frame = None
         return dup
+
+    # ------------------------------------------------------ shared buffers
+    @classmethod
+    def attach(
+        cls,
+        machines: Sequence[Machine],
+        shards: Sequence[Shard],
+        *,
+        capacity: np.ndarray,
+        demand: np.ndarray,
+        sizes: np.ndarray,
+        assignment: Sequence[int] | np.ndarray,
+        blocked: np.ndarray | None = None,
+        offline: np.ndarray | None = None,
+    ) -> "ClusterState":
+        """Build a state over externally owned description buffers.
+
+        Unlike the constructor — which ``np.stack``s per-object vectors
+        into fresh matrices — this adopts *capacity* (m, d), *demand*
+        (n, d) and *sizes* (n,) **as given**, without copying.  That is
+        the zero-copy path used by :mod:`repro.parallel.shm`: the
+        matrices are views into a ``multiprocessing.shared_memory``
+        segment, attached once per worker, and the *machines* / *shards*
+        descriptions are expected to reference rows of the same buffers.
+
+        Mutable state (*assignment*, *blocked*, *offline*) is copied, so
+        the returned state searches privately; only the immutable
+        instance description is shared.  The caller keeps the backing
+        buffers alive for the lifetime of the state (or calls
+        :meth:`detach` to sever the dependency).  Offline machines are
+        forced blocked, matching :meth:`set_offline`.
+        """
+        if not machines:
+            raise ValueError("ClusterState requires at least one machine")
+        if not shards:
+            raise ValueError("ClusterState requires at least one shard")
+        schema = machines[0].schema
+        if [mach.id for mach in machines] != list(range(len(machines))):
+            raise ValueError("machine ids must be dense 0..m-1 in order")
+        if [sh.id for sh in shards] != list(range(len(shards))):
+            raise ValueError("shard ids must be dense 0..n-1 in order")
+        m, n, d = len(machines), len(shards), schema.dims
+        if capacity.shape != (m, d):
+            raise ValueError(f"capacity must have shape ({m}, {d}), got {capacity.shape}")
+        if demand.shape != (n, d):
+            raise ValueError(f"demand must have shape ({n}, {d}), got {demand.shape}")
+        if sizes.shape != (n,):
+            raise ValueError(f"sizes must have shape ({n},), got {sizes.shape}")
+
+        state = object.__new__(cls)
+        state._schema = schema
+        state._machines = tuple(machines)
+        state._shards = tuple(shards)
+        state._capacity = capacity
+        state._demand = demand
+        state._sizes = sizes
+        state._exchange_mask = np.array([mach.exchange for mach in machines], dtype=bool)
+        state._norm_demand = None
+        state._cap_t = None
+        state._inv_cap_t = None
+
+        arr = np.asarray(assignment, dtype=np.int64)
+        if arr.shape != (n,):
+            raise ValueError(f"assignment must have shape ({n},), got {arr.shape}")
+        bad = (arr != UNASSIGNED) & ((arr < 0) | (arr >= m))
+        if np.any(bad):
+            raise ValueError(f"assignment references unknown machines at shards {np.flatnonzero(bad)}")
+        state._assign = arr.copy()
+        state._offline = (
+            np.zeros(m, dtype=bool) if offline is None else np.asarray(offline, dtype=bool).copy()
+        )
+        state._blocked = (
+            np.zeros(m, dtype=bool) if blocked is None else np.asarray(blocked, dtype=bool).copy()
+        )
+        state._blocked |= state._offline
+        state._replica_of = np.array([sh.replica_of for sh in shards], dtype=np.int64)
+        groups: dict[int, list[int]] = {}
+        for sh in shards:
+            if sh.replica_of >= 0:
+                groups.setdefault(sh.replica_of, []).append(sh.id)
+        state._replica_groups = {
+            g: np.asarray(members, dtype=np.int64) for g, members in groups.items()
+        }
+        state._frame = None
+        state._rebuild_caches()
+        return state
+
+    def detach(self) -> None:
+        """Re-home shared description buffers into private copies.
+
+        After :meth:`attach` the capacity/demand/sizes matrices (and the
+        machine/shard vectors referencing their rows) may live in a
+        shared-memory segment the caller is about to unlink.  ``detach``
+        copies them into process-private arrays and rebuilds the
+        machine/shard descriptions over the copies, so the state remains
+        valid after the segment is unmapped.  Lazy derived mirrors are
+        dropped (they are recomputed on demand from the private copies).
+        No-op cost beyond the copies; safe to call on any state.
+        """
+        if self._frame is not None:
+            raise RuntimeError("detach() inside an open transaction")
+        self._capacity = self._capacity.copy()
+        self._demand = self._demand.copy()
+        self._sizes = self._sizes.copy()
+        self._norm_demand = None
+        self._cap_t = None
+        self._inv_cap_t = None
+        self._machines = tuple(
+            replace(mach, capacity=self._capacity[i])
+            for i, mach in enumerate(self._machines)
+        )
+        self._shards = tuple(
+            replace(sh, demand=self._demand[j], size_bytes=float(self._sizes[j]))
+            for j, sh in enumerate(self._shards)
+        )
 
     def with_extra_machines(self, extra: Iterable[Machine]) -> "ClusterState":
         """New state with *extra* machines appended (ids are rewritten to

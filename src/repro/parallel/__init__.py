@@ -4,31 +4,49 @@ Public surface:
 
 * :func:`~repro.parallel.seeds.spawn_seeds` — deterministic per-task
   seeds via ``numpy.random.SeedSequence.spawn`` keyed by task index;
-* :class:`~repro.parallel.runner.ParallelRunner` — bounded worker pool
-  with per-task timeouts, crash isolation and ``repro.obs`` merge;
+* :class:`~repro.parallel.runner.ParallelRunner` — worker pool (one-shot
+  or persistent) with per-task timeouts, crash isolation and
+  ``repro.obs`` merge;
+* :mod:`~repro.parallel.shm` — shared-memory instance publication
+  (:func:`~repro.parallel.shm.publish_state` /
+  :func:`~repro.parallel.shm.attach_state`) and the cooperative
+  incumbent slot (:class:`~repro.parallel.shm.IncumbentSlot`);
 * :func:`~repro.parallel.restarts.run_sra_restarts` — best-of-K SRA
-  restart fan-out (what ``SRAConfig.restarts`` / CLI ``--restarts``
-  drive);
+  restart fan-out over the persistent shared-memory pool, blind or
+  cooperative (what ``SRAConfig.restarts`` / CLI ``--restarts`` drive);
 * :func:`~repro.parallel.driver.run_experiments` /
   :func:`~repro.parallel.driver.save_tables` — parallel E1–E20
   experiment driver (what ``repro.cli experiment --all --workers N``
   drives).
 
 See docs/ARCHITECTURE.md, "Parallel execution", for the seed-spawning
-contract, worker crash semantics and the obs merge rules.
+contract, worker crash semantics, the shm ownership/lifetime contract
+and the obs merge rules.
 """
 
 from repro.parallel.driver import ExperimentResult, run_experiments, save_tables
 from repro.parallel.restarts import RestartReport, run_sra_restarts
 from repro.parallel.runner import ParallelRunner, TaskResult, TaskSpec
 from repro.parallel.seeds import spawn_seed, spawn_seeds
+from repro.parallel.shm import (
+    IncumbentExchange,
+    IncumbentSlot,
+    SharedState,
+    attach_state,
+    publish_state,
+)
 
 __all__ = [
     "ExperimentResult",
+    "IncumbentExchange",
+    "IncumbentSlot",
     "ParallelRunner",
     "RestartReport",
+    "SharedState",
     "TaskResult",
     "TaskSpec",
+    "attach_state",
+    "publish_state",
     "run_experiments",
     "run_sra_restarts",
     "save_tables",

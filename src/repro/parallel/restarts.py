@@ -1,4 +1,4 @@
-"""Parallel SRA restarts: independent seeds, best-of-K selection.
+"""Parallel SRA restarts: shared-memory pool, blind or cooperative.
 
 LNS restarts share nothing, so K restarts scale across processes
 trivially — the companion resource-equivalence-classes argument (see
@@ -10,15 +10,46 @@ workers produce bitwise-identical per-restart results, and the winner
 is selected by a deterministic rule over the task-ordered results
 (feasibility first, then peak utilization, then move count — the same
 rule :class:`~repro.algorithms.PortfolioRebalancer` uses).
+
+The multi-worker fan-out runs on a **persistent** pool over
+**shared-memory state** (``use_shm=True``, the default): the parent
+publishes the instance once via :func:`repro.parallel.shm.publish_state`
+and each worker attaches at spawn, so a restart task pickles only its
+config — not tens of thousands of machine/shard dataclasses.  This is
+what turned the pool from a slowdown (BENCH_alns.json historically
+recorded 0.70x at 2 workers on m50) into a speedup on instances large
+enough to amortize the worker spawn.
+
+``cooperative=True`` upgrades blind best-of-K to a portfolio: restarts
+periodically publish/adopt incumbents through a shared best-solution
+slot (:class:`repro.parallel.shm.IncumbentSlot`), in the spirit of
+token-based portfolio load balancing (Comte, PAPERS.md).  Cooperative
+results depend on worker *timing* and are therefore not reproducible
+across runs or worker counts — exchange events are recorded via
+``repro.obs`` (``alns.exchange.*``) for auditing.  The serial
+cooperative portfolio (``n_workers=1``) runs restarts sequentially
+against an in-process slot and *is* deterministic: restart ``k`` warm
+starts from the best of restarts ``0..k-1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.parallel.runner import ParallelRunner, TaskResult, TaskSpec
 from repro.parallel.seeds import spawn_seeds
+from repro.parallel.shm import (
+    AttachedState,
+    IncumbentExchange,
+    IncumbentHandle,
+    IncumbentSlot,
+    StateHandle,
+    attach_incumbent,
+    attach_state,
+    local_incumbent_exchange,
+    publish_state,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sra imports us)
     from repro.algorithms.base import RebalanceResult
@@ -32,10 +63,11 @@ __all__ = ["RestartReport", "run_sra_restarts"]
 class RestartReport:
     """Outcome of a restart fan-out.
 
-    ``best`` carries the winning restart's full result with
+    ``best`` carries a copy of the winning restart's result with
     ``iterations`` re-totalled across every successful restart (the work
-    actually spent).  ``results`` keeps every per-restart row, failures
-    included, in restart order.
+    actually spent); the winner's own row in ``results`` keeps its
+    per-restart iteration count.  ``results`` keeps every per-restart
+    row, failures included, in restart order.
     """
 
     best: "RebalanceResult"
@@ -47,12 +79,65 @@ class RestartReport:
         return sum(1 for r in self.results if not r.ok)
 
 
+# Worker-process globals, installed once per worker by ``_init_worker``
+# (persistent-pool initializer).  Tasks consult them instead of carrying
+# the state / exchange through pickled task args.
+_WORKER_STATE: AttachedState | None = None
+_WORKER_EXCHANGE: IncumbentExchange | None = None
+
+
+def _init_worker(
+    state_handle: StateHandle | None,
+    slot_handle: IncumbentHandle | None,
+    lock: Any,
+    period: int,
+) -> None:
+    """Persistent-pool initializer: attach shared segments once.
+
+    Runs in the worker process at spawn.  The lock arrives through
+    ``Process`` creation (``multiprocessing`` primitives cannot cross
+    task pipes).  Attach-only: the parent owns both segments' unlink.
+    """
+    global _WORKER_STATE, _WORKER_EXCHANGE
+    _WORKER_STATE = attach_state(state_handle) if state_handle is not None else None
+    _WORKER_EXCHANGE = (
+        attach_incumbent(slot_handle, lock, period) if slot_handle is not None else None
+    )
+
+
 def _run_one(
     config: "SRAConfig", state: "ClusterState", ledger: "ExchangeLedger | None"
 ) -> "RebalanceResult":
+    """One restart over an explicitly passed (pickled) state."""
     from repro.algorithms.sra import SRA
 
-    return SRA(config).rebalance(state, ledger)
+    exchange = None if _WORKER_EXCHANGE is None else _WORKER_EXCHANGE.clone()
+    return SRA(config, exchange=exchange).rebalance(state, ledger)
+
+
+def _run_one_shared(
+    config: "SRAConfig", ledger: "ExchangeLedger | None"
+) -> "RebalanceResult":
+    """One restart over the worker's attached shared-memory state."""
+    from repro.algorithms.sra import SRA
+
+    attached = _WORKER_STATE
+    if attached is None:
+        raise RuntimeError("shared-state task ran in a worker without _init_worker")
+    exchange = None if _WORKER_EXCHANGE is None else _WORKER_EXCHANGE.clone()
+    return SRA(config, exchange=exchange).rebalance(attached.state, ledger)
+
+
+def _run_one_cooperative(
+    config: "SRAConfig",
+    state: "ClusterState",
+    ledger: "ExchangeLedger | None",
+    exchange: IncumbentExchange,
+) -> "RebalanceResult":
+    """One serial-portfolio restart (in-process exchange, never pickled)."""
+    from repro.algorithms.sra import SRA
+
+    return SRA(config, exchange=exchange.clone()).rebalance(state, ledger)
 
 
 def run_sra_restarts(
@@ -63,33 +148,122 @@ def run_sra_restarts(
     restarts: int,
     n_workers: int = 1,
     timeout_s: float | None = None,
+    use_shm: bool = True,
+    cooperative: bool = False,
+    exchange_period: int = 50,
 ) -> RestartReport:
-    """Run *restarts* independent SRA searches; return the best result.
+    """Run *restarts* SRA searches; return the best result.
 
-    Each restart gets its spawned seed and ``restarts=1, n_workers=1``
-    (so a restart never recursively fans out).  Raises ``RuntimeError``
-    when every restart failed.
+    Each restart gets its spawned seed and ``restarts=1, n_workers=1,
+    cooperative=False`` (so a restart never recursively fans out).
+    With ``n_workers > 1`` the fan-out runs on a persistent worker pool;
+    ``use_shm`` (default) additionally publishes *state* to shared
+    memory so tasks stop pickling it — blind-mode results stay
+    bitwise-identical to the serial path either way.  ``cooperative``
+    switches blind best-of-K to portfolio search with incumbent
+    exchange every *exchange_period* iterations (see module docstring
+    for the determinism caveat).  Raises ``RuntimeError`` when every
+    restart failed.
     """
     if restarts < 1:
         raise ValueError(f"restarts must be >= 1, got {restarts}")
     seeds = spawn_seeds(config.alns.seed, restarts)
-    specs = [
-        TaskSpec(
-            fn=_run_one,
-            args=(replace(config, seed=seed, restarts=1, n_workers=1), state, ledger),
-            name=f"sra.restart[{k}]",
-            seed=seed,
-        )
-        for k, seed in enumerate(seeds)
+    configs = [
+        replace(config, seed=seed, restarts=1, n_workers=1, cooperative=False)
+        for seed in seeds
     ]
-    results = ParallelRunner(n_workers, timeout_s=timeout_s).run(specs)
+
+    if n_workers == 1:
+        if cooperative:
+            exchange = local_incumbent_exchange(
+                state.num_shards, state.num_machines, exchange_period
+            )
+            specs = [
+                TaskSpec(
+                    fn=_run_one_cooperative,
+                    args=(cfg, state, ledger, exchange),
+                    name=f"sra.restart[{k}]",
+                    seed=seed,
+                )
+                for k, (cfg, seed) in enumerate(zip(configs, seeds, strict=True))
+            ]
+        else:
+            specs = [
+                TaskSpec(
+                    fn=_run_one,
+                    args=(cfg, state, ledger),
+                    name=f"sra.restart[{k}]",
+                    seed=seed,
+                )
+                for k, (cfg, seed) in enumerate(zip(configs, seeds, strict=True))
+            ]
+        results = ParallelRunner(1, timeout_s=timeout_s).run(specs)
+        return _select(results, seeds, restarts)
+
+    shared = publish_state(state) if use_shm else None
+    slot = (
+        IncumbentSlot(state.num_shards, state.num_machines) if cooperative else None
+    )
+    runner = ParallelRunner(
+        n_workers,
+        timeout_s=timeout_s,
+        persistent=True,
+        initializer=_init_worker,
+        initargs=(
+            shared.handle if shared is not None else None,
+            slot.handle if slot is not None else None,
+            slot.lock if slot is not None else None,
+            exchange_period,
+        ),
+    )
+    if shared is not None:
+        specs = [
+            TaskSpec(
+                fn=_run_one_shared,
+                args=(cfg, ledger),
+                name=f"sra.restart[{k}]",
+                seed=seed,
+            )
+            for k, (cfg, seed) in enumerate(zip(configs, seeds, strict=True))
+        ]
+    else:
+        specs = [
+            TaskSpec(
+                fn=_run_one,
+                args=(cfg, state, ledger),
+                name=f"sra.restart[{k}]",
+                seed=seed,
+            )
+            for k, (cfg, seed) in enumerate(zip(configs, seeds, strict=True))
+        ]
+    try:
+        results = runner.run(specs)
+    finally:
+        runner.close()
+        if shared is not None:
+            shared.close()
+            shared.unlink()
+        if slot is not None:
+            slot.close()
+            slot.unlink()
+    return _select(results, seeds, restarts)
+
+
+def _select(
+    results: list[TaskResult], seeds: tuple[int, ...], restarts: int
+) -> RestartReport:
+    """Deterministic winner selection + iteration re-totalling."""
     succeeded = [r for r in results if r.ok]
     if not succeeded:
         errors = "; ".join(f"{r.name}: {r.error}" for r in results)
         raise RuntimeError(f"all {restarts} SRA restarts failed ({errors})")
     best_row = min(succeeded, key=_selection_key)
-    best: "RebalanceResult" = best_row.value
-    best.iterations = sum(r.value.iterations for r in succeeded)
+    # A *copy* of the winning result carries the fan-out-wide iteration
+    # total; mutating best_row.value in place would corrupt the winner's
+    # own row in ``results`` (it used to, see tests/test_parallel_pool.py).
+    best: "RebalanceResult" = replace(
+        best_row.value, iterations=sum(r.value.iterations for r in succeeded)
+    )
     return RestartReport(best=best, results=results, seeds=seeds)
 
 

@@ -1,10 +1,9 @@
 """Process-parallel task runner with crash isolation and obs merge.
 
 :class:`ParallelRunner` executes a list of :class:`TaskSpec` on up to
-``n_workers`` worker processes (one process per task, bounded
-concurrency) and returns one :class:`TaskResult` per task **in task
-order**, regardless of completion order.  Three properties distinguish
-it from a bare ``ProcessPoolExecutor``:
+``n_workers`` worker processes and returns one :class:`TaskResult` per
+task **in task order**, regardless of completion order.  Three
+properties distinguish it from a bare ``ProcessPoolExecutor``:
 
 * **crash isolation** — a worker that dies (segfault, ``os._exit``,
   OOM-kill) yields a recorded failure row for its task; the run
@@ -12,15 +11,35 @@ it from a bare ``ProcessPoolExecutor``:
 * **per-task timeouts** — a task exceeding ``timeout_s`` is terminated
   and recorded as timed out instead of hanging the run;
 * **observability merge** — when the parent has an active ``repro.obs``
-  bundle, each worker runs under a fresh tracer + registry and ships
-  its records back; the parent re-parents every worker trace under a
-  ``parallel.task`` span and folds worker metrics into its registry, in
+  bundle, each task runs under a fresh tracer + registry and ships
+  its records back; the parent re-parents every task trace under a
+  ``parallel.task`` span and folds task metrics into its registry, in
   task order, so merged artifacts are deterministic.
+
+Two pool disciplines are available:
+
+* the default **one-shot** mode forks one process per task (bounded
+  concurrency) — simple, maximally isolated, but the per-task process
+  cost is paid ``len(tasks)`` times;
+* **persistent** mode (``persistent=True``) spawns ``n_workers``
+  long-lived workers once and feeds tasks through per-worker duplex
+  pipes.  An optional ``initializer(*initargs)`` runs once per worker
+  at spawn — this is how ``run_sra_restarts`` attaches workers to the
+  shared-memory instance (see :mod:`repro.parallel.shm`) so tasks stop
+  re-pickling ``ClusterState``.  Crash isolation and timeouts are
+  preserved: a dead or overrunning worker is detected via pipe
+  EOF / wall clock, its task recorded as failed/timed out, and a
+  replacement spawned while tasks remain.  Close the runner (it is a
+  context manager) to shut the workers down.
 
 ``n_workers=1`` is the serial path: tasks run in-process (no
 ``multiprocessing`` at all) under the ambient obs bundle, which is
 bitwise-identical to what the same tasks produce on a pool — the
-determinism contract tested by ``tests/test_parallel.py``.
+determinism contract tested by ``tests/test_parallel.py``.  The serial
+path records the same failure rows as workers do: *any*
+``BaseException`` raised by a task (including ``SystemExit`` and
+``KeyboardInterrupt``) becomes a failed :class:`TaskResult` rather
+than aborting the run, matching the pool's exception contract.
 
 Task functions must be module-level callables and their arguments and
 results picklable (everything in this library is: states carry plain
@@ -35,6 +54,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait
+from types import TracebackType
 from typing import Any, Callable, Mapping, Sequence
 
 from repro import obs
@@ -86,7 +106,7 @@ class _Slot:
 
 @dataclass
 class _Running:
-    """Parent-side bookkeeping for one in-flight worker process."""
+    """Parent-side bookkeeping for one in-flight task."""
 
     index: int
     spec: TaskSpec
@@ -94,41 +114,98 @@ class _Running:
     started: float
 
 
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one persistent worker process."""
+
+    process: Any
+    conn: Any
+    current: _Running | None = None
+
+
 def _format_error(exc: BaseException) -> str:
     return "".join(traceback.format_exception_only(exc)).strip()
 
 
-def _worker_entry(spec: TaskSpec, capture_obs: bool, conn: Any) -> None:
-    """Worker process body: run the task under a fresh obs bundle.
+def _execute_task(spec: TaskSpec, capture_obs: bool) -> dict[str, Any]:
+    """Run one task under a fresh obs bundle; return its payload dict.
 
-    The payload sent back is a plain dict so the parent can interpret it
-    even when the worker's exception types are not importable there.
+    The payload is a plain dict so the parent can interpret it even when
+    the task's exception types are not importable there.  The previous
+    ambient bundle is restored afterwards, so persistent workers do not
+    leak one task's tracer into the next.
     """
     bundle = (
         obs.Obs(obs.Tracer(), obs.MetricsRegistry()) if capture_obs else obs.NULL_OBS
     )
-    obs.activate(bundle)
+    previous = obs.activate(bundle)
     started = time.perf_counter()
     try:
         value = spec.fn(*spec.args, **dict(spec.kwargs))
         payload: dict[str, Any] = {"ok": True, "value": value, "error": None}
     except BaseException as exc:  # noqa: BLE001 - isolation is the point
         payload = {"ok": False, "value": None, "error": _format_error(exc)}
+    finally:
+        obs.deactivate(previous)
     payload["duration_s"] = time.perf_counter() - started
     if capture_obs:
         payload["trace"] = bundle.tracer.records()
         payload["metrics"] = bundle.metrics.to_dict()
+    return payload
+
+
+def _send_payload(conn: Any, payload: dict[str, Any], index: int | None = None) -> None:
+    """Ship *payload* to the parent; degrade unpicklable results to a
+    failure row instead of vanishing."""
+
+    def wrap(p: dict[str, Any]) -> Any:
+        return p if index is None else (index, p)
+
     try:
-        conn.send(payload)
+        conn.send(wrap(payload))
     except Exception as exc:  # unpicklable result: report, don't vanish
         conn.send(
-            {
-                "ok": False,
-                "value": None,
-                "error": f"task result not picklable: {_format_error(exc)}",
-                "duration_s": payload["duration_s"],
-            }
+            wrap(
+                {
+                    "ok": False,
+                    "value": None,
+                    "error": f"task result not picklable: {_format_error(exc)}",
+                    "duration_s": payload.get("duration_s", 0.0),
+                }
+            )
         )
+
+
+def _worker_entry(spec: TaskSpec, capture_obs: bool, conn: Any) -> None:
+    """One-shot worker process body: run the task, ship the payload."""
+    _send_payload(conn, _execute_task(spec, capture_obs))
+    conn.close()
+
+
+def _persistent_worker_main(
+    conn: Any,
+    initializer: Callable[..., None] | None,
+    initargs: tuple[Any, ...],
+) -> None:
+    """Persistent worker loop: init once, then serve tasks until EOF.
+
+    Each message is ``(index, spec, capture_obs)``; ``None`` (or pipe
+    EOF) shuts the worker down.  An initializer failure kills the worker
+    — the parent observes EOF, records the assigned task as crashed and
+    respawns, so a broken initializer fails tasks rather than hanging
+    the run.
+    """
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        index, spec, capture_obs = msg
+        _send_payload(conn, _execute_task(spec, capture_obs), index=index)
     conn.close()
 
 
@@ -143,12 +220,23 @@ class ParallelRunner:
         path, with no multiprocessing machinery involved.
     timeout_s:
         Optional per-task wall-clock limit.  Only enforced on the pool
-        path (``n_workers > 1``); the serial path cannot preempt a
+        paths (``n_workers > 1``); the serial path cannot preempt a
         running task.
     start_method:
         ``multiprocessing`` start method (None = platform default,
         ``fork`` on Linux).  Tasks must tolerate ``spawn`` to be
         portable.
+    persistent:
+        When True, spawn ``n_workers`` long-lived workers on first use
+        and feed them tasks over pipes instead of forking one process
+        per task.  Call :meth:`close` (or use the runner as a context
+        manager) when done.
+    initializer / initargs:
+        Optional per-worker setup hook for persistent mode, run once in
+        each worker process at spawn (and once in-process for the
+        serial path).  Arguments travel through ``Process`` creation,
+        so ``multiprocessing`` primitives (locks) are allowed here even
+        though they cannot cross task pipes.
     """
 
     def __init__(
@@ -157,12 +245,20 @@ class ParallelRunner:
         *,
         timeout_s: float | None = None,
         start_method: str | None = None,
+        persistent: bool = False,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
     ) -> None:
         check_positive("n_workers", n_workers)
         if timeout_s is not None:
             check_positive("timeout_s", timeout_s)
         self.n_workers = int(n_workers)
         self.timeout_s = timeout_s
+        self.persistent = bool(persistent)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._inline_initialized = False
+        self._workers: list[_Worker] = []
         self._ctx = mp.get_context(start_method)
 
     # ------------------------------------------------------------------ API
@@ -172,9 +268,39 @@ class ParallelRunner:
         if not specs:
             return []
         if self.n_workers == 1:
+            if self._initializer is not None and not self._inline_initialized:
+                self._initializer(*self._initargs)
+                self._inline_initialized = True
             return [self._run_inline(i, spec) for i, spec in enumerate(specs)]
-        slots = self._run_pool(specs)
+        slots = self._run_persistent(specs) if self.persistent else self._run_pool(specs)
         return self._merge(specs, slots)
+
+    def close(self) -> None:
+        """Shut down persistent workers (idempotent; no-op otherwise)."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            if worker.process.is_alive():
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in workers:
+            worker.process.join(1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.conn.close()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
 
     # --------------------------------------------------------- serial path
     def _run_inline(self, index: int, spec: TaskSpec) -> TaskResult:
@@ -186,7 +312,10 @@ class ParallelRunner:
             try:
                 value = spec.fn(*spec.args, **dict(spec.kwargs))
                 ok, error = True, None
-            except Exception as exc:
+            except BaseException as exc:  # noqa: BLE001 - same contract as pool
+                # A worker records SystemExit/KeyboardInterrupt as a
+                # failure row; the serial path must do the same, or a
+                # task's behaviour would depend on n_workers.
                 value, ok, error = None, False, _format_error(exc)
             duration = time.perf_counter() - started
             span.set("ok", ok)
@@ -201,7 +330,7 @@ class ParallelRunner:
             seed=spec.seed,
         )
 
-    # ----------------------------------------------------------- pool path
+    # ------------------------------------------------- one-shot pool path
     def _run_pool(self, specs: list[TaskSpec]) -> list[_Slot]:
         capture = obs.current().enabled
         slots: list[_Slot | None] = [None] * len(specs)
@@ -259,6 +388,10 @@ class ParallelRunner:
                 error=f"worker crashed before reporting (exitcode {code})",
                 duration_s=time.perf_counter() - run.started,
             )
+        return self._slot_from_payload(payload)
+
+    @staticmethod
+    def _slot_from_payload(payload: Mapping[str, Any]) -> _Slot:
         return _Slot(
             ok=bool(payload["ok"]),
             value=payload.get("value"),
@@ -276,6 +409,97 @@ class ParallelRunner:
             process.kill()
             process.join()
 
+    # ----------------------------------------------- persistent pool path
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_persistent_worker_main,
+            args=(child_conn, self._initializer, self._initargs),
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def _drop(self, worker: _Worker) -> None:
+        """Remove a dead/overrunning worker from the pool."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        self._kill(worker.process)
+        worker.conn.close()
+
+    def _run_persistent(self, specs: list[TaskSpec]) -> list[_Slot]:
+        """Feed *specs* to the long-lived worker pool.
+
+        Every spawned worker handles at least one task outcome (success,
+        crash row, or timeout row) before being replaced, so the run
+        terminates even when workers die on arrival (for example when
+        the initializer itself raises).
+        """
+        capture = obs.current().enabled
+        slots: list[_Slot | None] = [None] * len(specs)
+        pending: deque[tuple[int, TaskSpec]] = deque(enumerate(specs))
+        while pending or any(w.current is not None for w in self._workers):
+            while pending and len(self._workers) < self.n_workers:
+                self._spawn_worker()
+            for worker in list(self._workers):
+                if not pending:
+                    break
+                if worker.current is not None:
+                    continue
+                index, spec = pending.popleft()
+                try:
+                    worker.conn.send((index, spec, capture))
+                except (BrokenPipeError, OSError):
+                    # The worker died while idle; its replacement (if
+                    # tasks remain) is spawned on the next loop pass.
+                    slots[index] = _Slot(
+                        ok=False,
+                        error="worker crashed before reporting "
+                        f"(exitcode {worker.process.exitcode})",
+                    )
+                    self._drop(worker)
+                    continue
+                worker.current = _Running(index, spec, worker.process, time.perf_counter())
+            busy = {w.conn: w for w in self._workers if w.current is not None}
+            if not busy:
+                continue
+            tick = 0.05 if self.timeout_s is not None else None
+            ready = wait(list(busy.keys()), timeout=tick)
+            for conn in ready:
+                worker = busy[conn]
+                run = worker.current
+                assert run is not None
+                try:
+                    index, payload = conn.recv()
+                except (EOFError, OSError):
+                    slots[run.index] = _Slot(
+                        ok=False,
+                        error="worker crashed before reporting "
+                        f"(exitcode {worker.process.exitcode})",
+                        duration_s=time.perf_counter() - run.started,
+                    )
+                    self._drop(worker)
+                    continue
+                slots[index] = self._slot_from_payload(payload)
+                worker.current = None
+            if self.timeout_s is not None:
+                now = time.perf_counter()
+                for worker in list(self._workers):
+                    run = worker.current
+                    if run is not None and now - run.started >= self.timeout_s:
+                        slots[run.index] = _Slot(
+                            ok=False,
+                            error=f"timed out after {self.timeout_s:g}s",
+                            duration_s=now - run.started,
+                            timed_out=True,
+                        )
+                        self._drop(worker)
+        return [slot if slot is not None else _Slot(ok=False, error="not run")
+                for slot in slots]
+
+    # ---------------------------------------------------------------- merge
     def _merge(self, specs: list[TaskSpec], slots: list[_Slot]) -> list[TaskResult]:
         """Fold worker obs payloads into the parent bundle, in task order."""
         bundle = obs.current()

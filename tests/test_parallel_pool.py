@@ -1,0 +1,500 @@
+"""Correctness sweep for the persistent shared-memory restart pool.
+
+Covers the ISSUE 7 surface: the winner-aliasing regression, the
+serial/pool exception contract, persistent-pool reuse/crash/timeout
+semantics, the shared-memory lifecycle (attach/detach/unlink with no
+leaked ``/dev/shm`` segments on any exit path), cooperative incumbent
+exchange, and the hypothesis-pinned property that blind-mode pool
+results stay bitwise-identical to serial with shm enabled.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.algorithms.lns import AlnsEngine
+from repro.algorithms.destroy import DEFAULT_DESTROY_OPS
+from repro.algorithms.repair import DEFAULT_REPAIR_OPS
+from repro.algorithms.objective import Objective
+from repro.cluster import ClusterState
+from repro.parallel import (
+    IncumbentSlot,
+    ParallelRunner,
+    TaskSpec,
+    attach_state,
+    publish_state,
+    run_sra_restarts,
+)
+from repro.parallel.restarts import _init_worker
+from repro.parallel.shm import local_incumbent_exchange
+from repro.workloads import SyntheticConfig, generate
+
+
+# ----------------------------------------------------------------- task fns
+# Module-level so they stay picklable under any multiprocessing start
+# method.
+
+def _square(x):
+    return x * x
+
+
+def _pid(_=None):
+    return os.getpid()
+
+
+def _hard_exit():
+    os._exit(7)
+
+
+def _sleep_forever():
+    time.sleep(60)
+
+
+def _sys_exit():
+    sys.exit(3)
+
+
+def _keyboard_interrupt():
+    raise KeyboardInterrupt
+
+
+def _unpicklable():
+    return lambda: None
+
+
+def _observed_work(n):
+    bundle = obs.current()
+    bundle.metrics.counter("work.items").inc(n)
+    return n
+
+
+_INIT_SENTINEL = None
+
+
+def _remember(value):
+    global _INIT_SENTINEL
+    _INIT_SENTINEL = value
+
+
+def _recall():
+    return _INIT_SENTINEL
+
+
+def _crashy_init():
+    os._exit(9)
+
+
+def _small_state(seed=3):
+    return generate(
+        SyntheticConfig(
+            num_machines=12,
+            shards_per_machine=6,
+            target_utilization=0.85,
+            placement_skew=0.5,
+            max_shard_fraction=0.35,
+            seed=seed,
+        )
+    )
+
+
+def _shm_names():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return set()
+
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="/dev/shm not available"
+)
+
+
+# --------------------------------------------------------------- satellites
+class TestWinnerAliasing:
+    """run_sra_restarts must not mutate the winning row in place."""
+
+    def test_winner_row_keeps_its_own_iteration_count(self):
+        state = _small_state()
+        config = SRAConfig(alns=AlnsConfig(iterations=40, seed=5))
+        report = run_sra_restarts(state, config=config, restarts=3, n_workers=1)
+        succeeded = [r for r in report.results if r.ok]
+        total = sum(r.value.iterations for r in succeeded)
+        assert report.best.iterations == total
+        # Every per-restart row reports its *own* work, and the report's
+        # best is a copy, not an alias of a row.
+        for row in succeeded:
+            assert row.value.iterations <= 40
+            assert row.value is not report.best
+        assert {r.value.iterations for r in succeeded} != {total}
+
+
+class TestExceptionContract:
+    """Serial and pool paths record the same failure rows — including
+    for BaseException subclasses like SystemExit/KeyboardInterrupt."""
+
+    @pytest.mark.parametrize(
+        "fn,needle",
+        [(_sys_exit, "SystemExit"), (_keyboard_interrupt, "KeyboardInterrupt")],
+    )
+    def test_base_exceptions_recorded_on_both_paths(self, fn, needle):
+        specs = [TaskSpec(fn=fn, name="boom"),
+                 TaskSpec(fn=_square, args=(2,), name="ok")]
+        for workers in (1, 2):
+            rows = ParallelRunner(workers).run(specs)
+            assert not rows[0].ok and needle in rows[0].error
+            assert rows[1].ok and rows[1].value == 4
+
+    def test_persistent_pool_matches_too(self):
+        with ParallelRunner(2, persistent=True) as runner:
+            rows = runner.run([TaskSpec(fn=_sys_exit, name="boom"),
+                               TaskSpec(fn=_square, args=(2,), name="ok")])
+        assert not rows[0].ok and "SystemExit" in rows[0].error
+        assert rows[1].ok and rows[1].value == 4
+
+
+# ---------------------------------------------------------- persistent pool
+class TestPersistentPool:
+    def test_workers_are_reused_across_runs(self):
+        specs = [TaskSpec(fn=_pid, args=(i,)) for i in range(6)]
+        with ParallelRunner(2, persistent=True) as runner:
+            first = {r.value for r in runner.run(specs)}
+            second = {r.value for r in runner.run(specs)}
+        assert len(first) <= 2
+        assert first == second  # same processes served both batches
+        assert os.getpid() not in first
+
+    def test_results_in_task_order(self):
+        specs = [TaskSpec(fn=_square, args=(i,)) for i in range(7)]
+        with ParallelRunner(3, persistent=True) as runner:
+            rows = runner.run(specs)
+        assert [r.value for r in rows] == [i * i for i in range(7)]
+        assert [r.index for r in rows] == list(range(7))
+
+    def test_crash_is_isolated_and_pool_recovers(self):
+        specs = [TaskSpec(fn=_hard_exit, name="die"),
+                 TaskSpec(fn=_square, args=(3,), name="ok"),
+                 TaskSpec(fn=_square, args=(4,), name="ok2")]
+        with ParallelRunner(2, persistent=True) as runner:
+            rows = runner.run(specs)
+            # The pool must still work after burying a worker.
+            again = runner.run([TaskSpec(fn=_square, args=(5,))])
+        assert not rows[0].ok and "crashed" in rows[0].error
+        assert rows[1].ok and rows[1].value == 9
+        assert rows[2].ok and rows[2].value == 16
+        assert again[0].ok and again[0].value == 25
+
+    def test_timeout_kills_and_run_completes(self):
+        t0 = time.perf_counter()
+        with ParallelRunner(2, persistent=True, timeout_s=0.5) as runner:
+            rows = runner.run([TaskSpec(fn=_sleep_forever, name="slow"),
+                               TaskSpec(fn=_square, args=(4,), name="ok")])
+        assert time.perf_counter() - t0 < 30
+        assert rows[0].timed_out and not rows[0].ok
+        assert rows[1].ok and rows[1].value == 16
+
+    def test_initializer_runs_once_per_worker(self):
+        with ParallelRunner(
+            2, persistent=True, initializer=_remember, initargs=(41,)
+        ) as runner:
+            rows = runner.run([TaskSpec(fn=_recall) for _ in range(4)])
+        assert [r.value for r in rows] == [41] * 4
+
+    def test_crashy_initializer_fails_tasks_not_hangs(self):
+        with ParallelRunner(
+            2, persistent=True, initializer=_crashy_init
+        ) as runner:
+            rows = runner.run([TaskSpec(fn=_square, args=(1,)) for _ in range(3)])
+        assert all(not r.ok for r in rows)
+        assert all("crashed" in r.error for r in rows)
+
+    def test_unpicklable_result_reported(self):
+        with ParallelRunner(2, persistent=True) as runner:
+            rows = runner.run([TaskSpec(fn=_unpicklable, name="bad")])
+        assert not rows[0].ok and "picklable" in rows[0].error
+
+    def test_close_is_idempotent(self):
+        runner = ParallelRunner(2, persistent=True)
+        runner.run([TaskSpec(fn=_square, args=(2,))])
+        runner.close()
+        runner.close()
+
+    def test_obs_merge_identical_to_serial(self):
+        specs = [TaskSpec(fn=_observed_work, args=(n,)) for n in (1, 5, 50)]
+        with obs.observed() as serial_bundle:
+            ParallelRunner(1).run(specs)
+        with obs.observed() as pool_bundle:
+            with ParallelRunner(2, persistent=True) as runner:
+                runner.run(specs)
+        assert (
+            serial_bundle.metrics.to_dict()["counters"]["work.items"]
+            == pool_bundle.metrics.to_dict()["counters"]["work.items"]
+            == 56.0
+        )
+
+
+# ------------------------------------------------------------ shm lifecycle
+class TestSharedStateLifecycle:
+    def test_attach_reconstructs_equivalent_state(self):
+        state = _small_state()
+        with publish_state(state) as shared:
+            attached = attach_state(shared.handle)
+            s2 = attached.state
+            np.testing.assert_array_equal(s2.assignment, state.assignment)
+            np.testing.assert_array_equal(s2.capacity, state.capacity)
+            np.testing.assert_array_equal(s2.demand, state.demand)
+            np.testing.assert_array_equal(s2.sizes, state.sizes)
+            np.testing.assert_array_equal(s2.loads, state.loads)
+            np.testing.assert_array_equal(s2.blocked_mask, state.blocked_mask)
+            assert s2.peak_utilization() == state.peak_utilization()
+            assert [m.cls for m in s2.machines] == [m.cls for m in state.machines]
+            assert [sh.replica_of for sh in s2.shards] == [
+                sh.replica_of for sh in state.shards
+            ]
+            s2.validate()
+            s2.detach()
+            attached.close()
+
+    def test_shared_matrices_are_read_only(self):
+        state = _small_state()
+        with publish_state(state) as shared:
+            attached = attach_state(shared.handle)
+            with pytest.raises((ValueError, RuntimeError)):
+                attached.state.capacity[0, 0] = 99.0
+            attached.state.detach()
+            attached.close()
+
+    def test_detach_survives_unlink(self):
+        state = _small_state()
+        shared = publish_state(state)
+        attached = attach_state(shared.handle)
+        s2 = attached.state
+        s2.detach()
+        attached.close()
+        shared.close()
+        shared.unlink()
+        # The state must remain fully usable after the segment is gone.
+        s2.validate()
+        result = SRA(SRAConfig(alns=AlnsConfig(iterations=10, seed=1))).rebalance(s2)
+        assert result.target_assignment.shape == (s2.num_shards,)
+
+    def test_attach_constructor_validates(self):
+        state = _small_state()
+        with pytest.raises(ValueError, match="capacity"):
+            ClusterState.attach(
+                state.machines,
+                state.shards,
+                capacity=state.capacity[:-1],
+                demand=state.demand,
+                sizes=state.sizes,
+                assignment=state.assignment,
+            )
+        with pytest.raises(ValueError, match="unknown machines"):
+            ClusterState.attach(
+                state.machines,
+                state.shards,
+                capacity=state.capacity,
+                demand=state.demand,
+                sizes=state.sizes,
+                assignment=np.full(state.num_shards, 10_000, dtype=np.int64),
+            )
+
+    @needs_dev_shm
+    def test_no_leak_on_normal_exit(self):
+        before = _shm_names()
+        state = _small_state()
+        config = SRAConfig(alns=AlnsConfig(iterations=20, seed=2))
+        run_sra_restarts(state, config=config, restarts=2, n_workers=2)
+        assert _shm_names() == before
+
+    @needs_dev_shm
+    def test_no_leak_when_worker_crashes(self):
+        before = _shm_names()
+        state = _small_state()
+        shared = publish_state(state)
+        try:
+            with ParallelRunner(
+                2,
+                persistent=True,
+                initializer=_init_worker,
+                initargs=(shared.handle, None, None, 50),
+            ) as runner:
+                rows = runner.run([TaskSpec(fn=_hard_exit, name="die"),
+                                   TaskSpec(fn=_pid, name="ok")])
+            assert not rows[0].ok and rows[1].ok
+        finally:
+            shared.close()
+            shared.unlink()
+        assert _shm_names() == before
+
+    @needs_dev_shm
+    def test_no_leak_when_tasks_time_out(self):
+        before = _shm_names()
+        state = _small_state()
+        config = SRAConfig(alns=AlnsConfig(iterations=5_000_000, seed=2))
+        with pytest.raises(RuntimeError, match="restarts failed"):
+            run_sra_restarts(
+                state, config=config, restarts=2, n_workers=2, timeout_s=0.4
+            )
+        assert _shm_names() == before
+
+    @needs_dev_shm
+    def test_no_leak_cooperative(self):
+        before = _shm_names()
+        state = _small_state()
+        config = SRAConfig(alns=AlnsConfig(iterations=30, seed=2))
+        run_sra_restarts(
+            state, config=config, restarts=2, n_workers=2,
+            cooperative=True, exchange_period=10,
+        )
+        assert _shm_names() == before
+
+
+# ------------------------------------------------------------- cooperative
+class _PlantedExchange:
+    """Fake incumbent channel: hands out one planted incumbent, records
+    offers.  Lets the adoption path run deterministically in-process."""
+
+    def __init__(self, planted, period=10):
+        self.period = period
+        self._planted = planted
+        self.offers = []
+
+    def offer(self, objective, assignment, blocked):
+        self.offers.append(float(objective))
+        return False
+
+    def take(self, objective):
+        if self._planted is not None and self._planted[0] < objective - 1e-12:
+            planted, self._planted = self._planted, None
+            return planted
+        return None
+
+
+class TestCooperativeExchange:
+    def test_engine_adopts_planted_incumbent(self):
+        state = _small_state()
+        objective = Objective(state.assignment, state.sizes)
+        engine = AlnsEngine(
+            AlnsConfig(iterations=400, seed=11), DEFAULT_DESTROY_OPS, DEFAULT_REPAIR_OPS
+        )
+        strong = engine.run(state, objective)
+        weak_engine = AlnsEngine(
+            AlnsConfig(iterations=40, seed=12), DEFAULT_DESTROY_OPS, DEFAULT_REPAIR_OPS
+        )
+        planted = (
+            strong.best_objective,
+            strong.best_assignment,
+            np.zeros(state.num_machines, dtype=bool),
+        )
+        exchange = _PlantedExchange(planted, period=10)
+        outcome = weak_engine.run(state, objective, exchange=exchange)
+        assert outcome.exchange_adopted == 1
+        assert outcome.best_objective <= strong.best_objective + 1e-12
+        assert exchange.offers, "engine never offered its incumbent"
+
+    def test_blind_mode_unchanged_by_hook_presence(self):
+        state = _small_state()
+        objective = Objective(state.assignment, state.sizes)
+        cfg = AlnsConfig(iterations=60, seed=4)
+        a = AlnsEngine(cfg, DEFAULT_DESTROY_OPS, DEFAULT_REPAIR_OPS).run(
+            state, objective
+        )
+        b = AlnsEngine(cfg, DEFAULT_DESTROY_OPS, DEFAULT_REPAIR_OPS).run(
+            state, objective, exchange=None
+        )
+        assert a.best_objective == b.best_objective
+        np.testing.assert_array_equal(a.best_assignment, b.best_assignment)
+        assert a.exchange_published == a.exchange_adopted == 0
+
+    def test_serial_portfolio_is_deterministic_and_publishes(self):
+        state = _small_state()
+        config = SRAConfig(alns=AlnsConfig(iterations=60, seed=9))
+        with obs.observed() as bundle:
+            first = run_sra_restarts(
+                state, config=config, restarts=3, n_workers=1,
+                cooperative=True, exchange_period=10,
+            )
+        second = run_sra_restarts(
+            state, config=config, restarts=3, n_workers=1,
+            cooperative=True, exchange_period=10,
+        )
+        np.testing.assert_array_equal(
+            first.best.target_assignment, second.best.target_assignment
+        )
+        assert first.best.peak_after == second.best.peak_after
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters.get("alns.exchange.published", 0) >= 1
+
+    def test_pool_portfolio_returns_feasible_result(self):
+        state = _small_state()
+        config = SRAConfig(alns=AlnsConfig(iterations=40, seed=9))
+        with obs.observed() as bundle:
+            report = run_sra_restarts(
+                state, config=config, restarts=3, n_workers=2,
+                cooperative=True, exchange_period=10,
+            )
+        assert report.best.feasible
+        assert report.num_failed == 0
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters.get("alns.exchange.published", 0) >= 1
+
+    def test_local_exchange_cursor_isolated_per_clone(self):
+        ex = local_incumbent_exchange(4, 2, period=5)
+        assign = np.zeros(4, dtype=np.int64)
+        blocked = np.zeros(2, dtype=bool)
+        assert ex.offer(5.0, assign, blocked)
+        # The publishing client must not re-adopt its own incumbent...
+        assert ex.take(5.0) is None
+        # ...but a fresh clone (a new restart) adopts it.
+        got = ex.clone().take(9.0)
+        assert got is not None and got[0] == 5.0
+        # Worse incumbents never displace the slot.
+        assert not ex.offer(6.0, assign, blocked)
+
+    def test_incumbent_slot_snapshot(self):
+        slot = IncumbentSlot(4, 2)
+        try:
+            assert slot.snapshot() is None
+        finally:
+            slot.close()
+            slot.unlink()
+
+    def test_cooperative_config_wiring(self):
+        cfg = SRAConfig(cooperative=True, exchange_period=25, restarts=2)
+        assert cfg.cooperative and cfg.exchange_period == 25
+        with pytest.raises(ValueError, match="exchange_period"):
+            SRAConfig(exchange_period=0)
+
+
+# ------------------------------------------------------- bitwise determinism
+class TestBlindBitwiseIdentity:
+    """ISSUE 7 acceptance: blind pool results (shm enabled) stay
+    bitwise-identical to serial."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_pool_with_shm_matches_serial(self, seed):
+        state = _small_state(seed % 7)
+        config = SRAConfig(alns=AlnsConfig(iterations=15, seed=seed))
+        serial = run_sra_restarts(state, config=config, restarts=2, n_workers=1)
+        pool = run_sra_restarts(
+            state, config=config, restarts=2, n_workers=2, use_shm=True
+        )
+        assert pool.best.peak_after == serial.best.peak_after
+        assert pool.best.iterations == serial.best.iterations
+        np.testing.assert_array_equal(
+            pool.best.target_assignment, serial.best.target_assignment
+        )
+        for a, b in zip(serial.results, pool.results, strict=True):
+            assert a.ok and b.ok
+            assert a.value.peak_after == b.value.peak_after
+            np.testing.assert_array_equal(
+                a.value.target_assignment, b.value.target_assignment
+            )
