@@ -12,7 +12,9 @@ These are the comparison points of experiment E3/E5:
 All baselines are *transient-safe*: they only take steps that are
 directly executable in the current cluster (the destination can hold the
 in-flight copy).  This is what an operator without exchange machines must
-do, and it is precisely the handicap resource exchange removes.
+do, and it is precisely the handicap resource exchange removes.  They
+also never target blocked or offline machines, so they run unchanged on
+degraded fleets (e.g. the ``failure-storm`` scenario family).
 """
 
 from __future__ import annotations
@@ -99,6 +101,7 @@ class GreedyRebalancer(Rebalancer):
             extra = work.demand[j]
             fits = np.all(headroom >= extra - 1e-12, axis=1)
             fits[hottest] = False
+            fits[work.blocked_mask] = False
             peers = work.replica_peer_machines(int(j))
             if peers.size:
                 fits[peers] = False
@@ -359,9 +362,13 @@ class RandomRestartRebalancer(Rebalancer):
     def _construct(state: ClusterState, rng: np.random.Generator) -> np.ndarray | None:
         loads = np.zeros_like(state.loads)
         assign = np.empty(state.num_shards, dtype=np.int64)
+        blocked = state.blocked_mask
+        if blocked.all():
+            return None
         for j in rng.permutation(state.num_shards):
             extra = state.demand[j]
             peak_after = ((loads + extra) / state.capacity).max(axis=1)
+            peak_after[blocked] = np.inf
             i = int(np.argmin(peak_after))
             if np.any(loads[i] + extra > state.capacity[i] + 1e-12):
                 return None  # cannot place within capacity

@@ -17,6 +17,14 @@
   processes (``--workers N``) by the ``repro.parallel`` driver, with
   the same artifact flags plus ``--out-dir`` for machine-readable
   tables;
+* ``scenarios``  — the parametric scenario registry
+  (``repro.scenarios``): ``list`` enumerates the generator families
+  with their parameter schemas, ``show`` prints one family in detail,
+  ``generate`` writes an instance snapshot from a spec (``--param k=v``
+  overrides, content-addressed by spec hash), and ``matrix`` sweeps a
+  scenario×algorithm grid through the parallel driver, writing per-cell
+  row tables plus an ``index.json`` (the CI scenario-matrix jobs are
+  thin wrappers over this subcommand);
 * ``lint``       — run the AST invariant linter (rules REP001–REP005:
   seeded RNG construction, wall-clock discipline, ClusterState
   transaction discipline, span usage, unordered float folds) with the
@@ -170,6 +178,54 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_arguments as _add_lint_arguments
 
     _add_lint_arguments(lint)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="parametric scenario registry: list/show/generate/matrix",
+    )
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_sub.add_parser("list", help="list generator families and their schemas")
+
+    show = scen_sub.add_parser("show", help="print one family's full schema")
+    show.add_argument("name", help="scenario family name (see `scenarios list`)")
+
+    sgen = scen_sub.add_parser(
+        "generate", help="generate an instance snapshot from a scenario spec"
+    )
+    sgen.add_argument("name", help="scenario family name")
+    sgen.add_argument("--param", action="append", default=[], metavar="K=V",
+                      help="parameter override (repeatable)")
+    sgen.add_argument("--seed", type=int, default=0)
+    sgen.add_argument("--out", required=True, help="output snapshot path (JSON)")
+
+    mat = scen_sub.add_parser(
+        "matrix", help="run a scenario×algorithm matrix on the parallel driver"
+    )
+    mat.add_argument("--scenario", action="append", default=[], metavar="NAME",
+                     help="scenario family to include, at its default "
+                          "parameters (repeatable)")
+    mat.add_argument("--param", action="append", default=[], metavar="NAME.K=V",
+                     help="parameter override for one included scenario "
+                          "(repeatable; e.g. --param zipf-popularity.num_machines=10)")
+    mat.add_argument("--smoke", action="store_true",
+                     help="use the built-in small spec set (what CI runs) "
+                          "instead of --scenario")
+    mat.add_argument("--algorithms", default="sra,greedy",
+                     help="comma-separated algorithm axis "
+                          "(sra, portfolio, greedy, local-search, noop)")
+    mat.add_argument("--iterations", type=int, default=400,
+                     help="search iterations per SRA/portfolio cell")
+    mat.add_argument("--seed", type=int, default=0)
+    mat.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes cells are fanned across (cell "
+                          "rows are identical for any worker count)")
+    mat.add_argument("--out-dir", default=None, metavar="DIR",
+                     help="write per-cell tables plus index.json into DIR")
+    mat.add_argument("--verify-determinism", action="store_true",
+                     help="rerun the first cell after the matrix and fail "
+                          "unless its rows are bitwise-identical")
+    _add_obs_arguments(mat)
 
     exp = sub.add_parser("experiment", help="regenerate experiment tables")
     exp.add_argument("id", nargs="?", default=None,
@@ -439,9 +495,147 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_overrides(pairs: Sequence[str]) -> dict[str, str]:
+    """Parse repeated ``--param k=v`` flags into a dict (raw strings;
+    type coercion happens against the scenario schema)."""
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param expects K=V, got {pair!r}")
+        overrides[key] = value
+    return overrides
+
+
+def _scenario_schema_lines(family) -> list[str]:
+    return [f"    {p.describe():44s} {p.doc}" for p in family.params]
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro import scenarios
+
+    if args.scenarios_command == "list":
+        for family in scenarios.list_families():
+            print(f"{family.name}  —  {family.summary}")
+            for line in _scenario_schema_lines(family):
+                print(line)
+        return 0
+
+    if args.scenarios_command == "show":
+        try:
+            family = scenarios.get_family(args.name)
+        except ValueError as exc:
+            print(f"scenarios: {exc}", file=sys.stderr)
+            return 2
+        spec = scenarios.ScenarioSpec(family.name, {}, seed=0)
+        _, resolved, digest = scenarios.resolve(spec)
+        print(family.name)
+        print(f"  {family.summary}")
+        print("  parameters:")
+        for line in _scenario_schema_lines(family):
+            print(line)
+        print(f"  default spec hash (seed 0): {digest}")
+        return 0
+
+    if args.scenarios_command == "generate":
+        try:
+            overrides = _parse_param_overrides(args.param)
+            spec = scenarios.ScenarioSpec(args.name, overrides, seed=args.seed)
+            _, resolved, digest = scenarios.resolve(spec)
+            state = scenarios.generate_instance(spec)
+        except ValueError as exc:
+            print(f"scenarios: {exc}", file=sys.stderr)
+            return 2
+        save_json(state, args.out)
+        print(
+            f"wrote scenario {args.name!r} (hash {digest}): "
+            f"{state.num_machines} machines, {state.num_shards} shards, "
+            f"peak {state.peak_utilization():.3f} -> {args.out}"
+        )
+        return 0
+
+    assert args.scenarios_command == "matrix"
+    return _cmd_scenarios_matrix(args)
+
+
+def _cmd_scenarios_matrix(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import scenarios
+
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    try:
+        if args.smoke:
+            specs = scenarios.smoke_specs(seed=args.seed)
+        else:
+            if not args.scenario:
+                print(
+                    "scenarios matrix: give --smoke or at least one --scenario",
+                    file=sys.stderr,
+                )
+                return 2
+            per_scenario: dict[str, dict[str, str]] = {
+                name: {} for name in args.scenario
+            }
+            for pair in args.param:
+                target, sep, kv = pair.partition(".")
+                if not sep or target not in per_scenario:
+                    raise ValueError(
+                        f"--param expects NAME.K=V for an included scenario, "
+                        f"got {pair!r} (included: {sorted(per_scenario)})"
+                    )
+                per_scenario[target].update(_parse_param_overrides([kv]))
+            specs = [
+                scenarios.ScenarioSpec(name, overrides, seed=args.seed)
+                for name, overrides in per_scenario.items()
+            ]
+        for spec in specs:
+            scenarios.resolve(spec)
+        unknown = [a for a in algorithms if a not in scenarios.ALGORITHMS]
+        if unknown:
+            raise ValueError(
+                f"unknown algorithm(s) {unknown}; "
+                f"available: {sorted(scenarios.ALGORITHMS)}"
+            )
+    except ValueError as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+
+    with _ObsSession(args):
+        cells = scenarios.run_matrix(
+            specs, algorithms, iterations=args.iterations, n_workers=args.workers
+        )
+    from repro.experiments import print_table
+
+    for cell in cells:
+        print_table(cell.rows, title=f"matrix cell {cell.cell}")
+        if not cell.ok:
+            print(f"cell {cell.cell} FAILED: {cell.error}", file=sys.stderr)
+    if args.out_dir:
+        scenarios.save_matrix(cells, args.out_dir)
+        print(f"\nwrote {len(cells)} cells -> {args.out_dir}")
+    ok = all(cell.ok for cell in cells)
+
+    if args.verify_determinism and cells:
+        first = cells[0]
+        rerun = scenarios.run_cell(
+            first.spec.to_dict(), first.algorithm, args.iterations
+        )
+        if _json.dumps(rerun, sort_keys=True) != _json.dumps(
+            first.rows, sort_keys=True
+        ):
+            print(
+                f"determinism violation: rerun of cell {first.cell} diverged",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"determinism verified: cell {first.cell} rerun is identical")
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY, is_full_run, print_table
-    from repro.parallel import run_experiments, save_tables
+    from repro.parallel import registry_order, run_experiments, save_tables
 
     if args.all:
         keys = None
@@ -452,7 +646,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         key = args.id.lower()
         if key not in REGISTRY:
             print(
-                f"unknown experiment {args.id!r}; available: {sorted(REGISTRY)}",
+                f"unknown experiment {args.id!r}; "
+                f"available: {sorted(REGISTRY, key=registry_order)}",
                 file=sys.stderr,
             )
             return 2
@@ -485,6 +680,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis.cli import run as _run_lint
 
         return _run_lint(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -47,6 +47,8 @@ def to_dict(state: ClusterState) -> dict[str, Any]:
             for sh in state.shards
         ],
         "assignment": state.assignment.tolist(),
+        "offline": np.flatnonzero(state.offline_mask).tolist(),
+        "blocked": np.flatnonzero(state.blocked_mask & ~state.offline_mask).tolist(),
     }
 
 
@@ -76,7 +78,14 @@ def from_dict(data: dict[str, Any]) -> ClusterState:
         )
         for s in data["shards"]
     ]
-    return ClusterState(machines, shards, data["assignment"])
+    state = ClusterState(machines, shards, data["assignment"])
+    # Older snapshots (pre scenario registry) carry no mask fields; both
+    # default to empty so they round-trip unchanged.
+    for machine_id in data.get("offline", []):
+        state.set_offline(int(machine_id))
+    for machine_id in data.get("blocked", []):
+        state.block_machine(int(machine_id))
+    return state
 
 
 def save_json(state: ClusterState, path: str | Path) -> None:

@@ -13,9 +13,8 @@ from __future__ import annotations
 
 from repro.algorithms import LocalSearchRebalancer
 from repro.cluster import ClusterState, Shard
-from repro.experiments.common import make_sra
+from repro.experiments.common import make_sra, scenario_instance
 from repro.experiments.harness import register
-from repro.workloads import ReplicatedConfig, SyntheticConfig, generate_replicated
 
 
 def _strip_replicas(state: ClusterState) -> ClusterState:
@@ -41,18 +40,18 @@ def run(fast: bool = True) -> list[dict]:
     rows = []
     for seed in seeds:
         for k in factors:
-            cfg = ReplicatedConfig(
-                base=SyntheticConfig(
-                    num_machines=20,
-                    shards_per_machine=4,
-                    target_utilization=0.8,
-                    placement_skew=0.55,
-                    max_shard_fraction=0.35,
-                    seed=seed,
-                ),
-                replication_factor=k,
+            state = scenario_instance(
+                "replicated-shards",
+                {
+                    "num_machines": 20,
+                    "shards_per_machine": 4,
+                    "target_utilization": 0.8,
+                    "placement_skew": 0.55,
+                    "max_shard_fraction": 0.35,
+                    "replication_factor": k,
+                },
+                seed=seed,
             )
-            state = generate_replicated(cfg)
             for algo_name, result, final_state in _runs(state, iterations):
                 rows.append(
                     {

@@ -14,9 +14,10 @@ import numpy as np
 
 from repro.algorithms import AlnsConfig, SRAConfig
 from repro.cluster import ExchangeLedger
+from repro.experiments.common import scenario_instance
 from repro.experiments.harness import register
 from repro.recovery import RecoveryPlanner, fail_machine
-from repro.workloads import SyntheticConfig, generate, make_exchange_machines
+from repro.workloads import make_exchange_machines
 
 
 @register("e12")
@@ -26,15 +27,16 @@ def run(fast: bool = True) -> list[dict]:
     iterations = 400 if fast else 1500
     rows = []
     for seed in seeds:
-        state = generate(
-            SyntheticConfig(
-                num_machines=16,
-                shards_per_machine=6,
-                target_utilization=0.85,
-                placement_skew=0.3,
-                max_shard_fraction=0.35,
-                seed=seed,
-            )
+        state = scenario_instance(
+            "zipf-popularity",
+            {
+                "num_machines": 16,
+                "shards_per_machine": 6,
+                "target_utilization": 0.85,
+                "placement_skew": 0.3,
+                "max_shard_fraction": 0.35,
+            },
+            seed=seed,
         )
         victim = int(np.argmax(state.machine_peak_utilization()))
         for b in budgets:

@@ -12,9 +12,9 @@ fraction of the bytes.
 from __future__ import annotations
 
 from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.experiments.common import scenario_instance
 from repro.experiments.harness import register
 from repro.online import OnlineSimulator, PopularityDrift
-from repro.workloads import SyntheticConfig, generate
 
 
 @register("e13")
@@ -24,15 +24,16 @@ def run(fast: bool = True) -> list[dict]:
     seeds = (0,) if fast else (0, 1, 2)
     rows = []
     for seed in seeds:
-        state = generate(
-            SyntheticConfig(
-                num_machines=16,
-                shards_per_machine=6,
-                target_utilization=0.75,
-                placement_skew=0.0,
-                max_shard_fraction=0.35,
-                seed=seed,
-            )
+        state = scenario_instance(
+            "zipf-popularity",
+            {
+                "num_machines": 16,
+                "shards_per_machine": 6,
+                "target_utilization": 0.75,
+                "placement_skew": 0.0,
+                "max_shard_fraction": 0.35,
+            },
+            seed=seed,
         )
         for policy, threshold in (("never", 1.0), ("threshold", 0.92), ("always", 1.0)):
             sim = OnlineSimulator(

@@ -10,9 +10,10 @@ ones), and every cluster improves.
 from __future__ import annotations
 
 from repro.algorithms import AlnsConfig, SRA, SRAConfig
+from repro.experiments.common import scenario_instance
 from repro.experiments.harness import register
 from repro.pool import MachinePool, rebalance_with_pool
-from repro.workloads import SyntheticConfig, generate, make_exchange_machines
+from repro.workloads import make_exchange_machines
 
 
 @register("e17")
@@ -21,21 +22,24 @@ def run(fast: bool = True) -> list[dict]:
     iterations = 500 if fast else 2000
     seed0 = 0
 
-    template = generate(
-        SyntheticConfig(num_machines=16, shards_per_machine=6, seed=seed0)
+    template = scenario_instance(
+        "zipf-popularity",
+        {"num_machines": 16, "shards_per_machine": 6},
+        seed=seed0,
     )
     pool = MachinePool(make_exchange_machines(template, 4))
     rows = []
     for c in range(num_clusters):
-        state = generate(
-            SyntheticConfig(
-                num_machines=16,
-                shards_per_machine=6,
-                target_utilization=0.85,
-                placement_skew=0.5,
-                max_shard_fraction=0.35,
-                seed=seed0 + c,
-            )
+        state = scenario_instance(
+            "zipf-popularity",
+            {
+                "num_machines": 16,
+                "shards_per_machine": 6,
+                "target_utilization": 0.85,
+                "placement_skew": 0.5,
+                "max_shard_fraction": 0.35,
+            },
+            seed=seed0 + c,
         )
         rebalance_with_pool(
             pool,

@@ -9,24 +9,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import run_sra_with_exchange
+from repro.experiments.common import run_sra_with_exchange, scenario_instance
 from repro.experiments.harness import register
-from repro.workloads import SyntheticConfig, generate
 
 
 @register("e4")
 def run(fast: bool = True) -> list[dict]:
     seeds = (1, 2) if fast else (1, 2, 3, 4, 5)
     iterations = 800 if fast else 3000
-    state = generate(
-        SyntheticConfig(
-            num_machines=30,
-            shards_per_machine=6,
-            target_utilization=0.85,
-            placement_skew=0.55,
-            max_shard_fraction=0.35,
-            seed=0,
-        )
+    state = scenario_instance(
+        "zipf-popularity",
+        {
+            "num_machines": 30,
+            "shards_per_machine": 6,
+            "target_utilization": 0.85,
+            "placement_skew": 0.55,
+            "max_shard_fraction": 0.35,
+        },
+        seed=0,
     )
     checkpoints = np.unique(
         np.concatenate(

@@ -24,7 +24,12 @@ contract, worker crash semantics, the shm ownership/lifetime contract
 and the obs merge rules.
 """
 
-from repro.parallel.driver import ExperimentResult, run_experiments, save_tables
+from repro.parallel.driver import (
+    ExperimentResult,
+    registry_order,
+    run_experiments,
+    save_tables,
+)
 from repro.parallel.restarts import RestartReport, run_sra_restarts
 from repro.parallel.runner import ParallelRunner, TaskResult, TaskSpec
 from repro.parallel.seeds import spawn_seed, spawn_seeds
@@ -47,6 +52,7 @@ __all__ = [
     "TaskSpec",
     "attach_state",
     "publish_state",
+    "registry_order",
     "run_experiments",
     "run_sra_restarts",
     "save_tables",

@@ -23,7 +23,7 @@ from typing import Any, Sequence
 
 from repro.parallel.runner import ParallelRunner, TaskSpec
 
-__all__ = ["ExperimentResult", "run_experiments", "save_tables"]
+__all__ = ["ExperimentResult", "registry_order", "run_experiments", "save_tables"]
 
 
 @dataclass
@@ -44,7 +44,13 @@ def _experiment_task(key: str, fast: bool) -> list[dict[str, Any]]:
     return REGISTRY[key](fast=fast)
 
 
-def _registry_order(key: str) -> tuple[int, str]:
+def registry_order(key: str) -> tuple[int, str]:
+    """Sort key putting experiment ids in numeric order (e2 before e10).
+
+    Plain lexicographic sorting interleaves them (e1, e10, e11, …, e2),
+    which is wrong everywhere experiments are listed — use this key for
+    any user-facing enumeration of the registry.
+    """
     match = re.fullmatch(r"e(\d+)", key)
     return (int(match.group(1)) if match else 10**9, key)
 
@@ -65,10 +71,13 @@ def run_experiments(
     """
     from repro.experiments import REGISTRY
 
-    selected = sorted(REGISTRY, key=_registry_order) if keys is None else list(keys)
+    selected = sorted(REGISTRY, key=registry_order) if keys is None else list(keys)
     unknown = [k for k in selected if k not in REGISTRY]
     if unknown:
-        raise ValueError(f"unknown experiments {unknown!r}; available: {sorted(REGISTRY)}")
+        raise ValueError(
+            f"unknown experiments {unknown!r}; "
+            f"available: {sorted(REGISTRY, key=registry_order)}"
+        )
     specs = [
         TaskSpec(fn=_experiment_task, args=(key, fast), name=f"experiment:{key}")
         for key in selected

@@ -1,0 +1,147 @@
+"""The scenario registry: named parametric generator families.
+
+Every family is a registered ``(ScenarioSpec) -> ClusterState`` function
+with a declared, typed parameter schema.  The registry is the single
+enumeration surface for instances: the CLI lists it, the experiment
+suites look specs up in it, and the scenario matrix sweeps it.
+
+Seeding contract
+----------------
+A family's builder receives ``(params, seed)`` and must derive **all**
+randomness from that seed — either by passing it straight into one of
+the workload configs (which construct ``default_rng(seed)``, i.e. a
+``SeedSequence``-seeded generator) or, when independent streams are
+needed, by spawning children from ``numpy.random.SeedSequence(seed)``.
+Equal resolved spec ⇒ byte-identical instance, on any host, any worker
+count, any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.cluster import ClusterState
+from repro.scenarios.spec import ParamSpec, ScenarioSpec, canonical_params, spec_hash
+
+__all__ = [
+    "ScenarioFamily",
+    "SCENARIOS",
+    "register_scenario",
+    "get_family",
+    "list_families",
+    "resolve_params",
+    "resolve",
+    "generate_instance",
+]
+
+#: Builder signature: (resolved params, seed) -> instance.
+Builder = Callable[[Mapping[str, Any], int], ClusterState]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered generator family.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case).
+    summary:
+        One-line description for listings.
+    params:
+        Declared parameter schema, in display order.
+    builder:
+        The generator function (see module docstring for the contract).
+    """
+
+    name: str
+    summary: str
+    params: tuple[ParamSpec, ...]
+    builder: Builder
+
+    def param(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def defaults(self) -> dict[str, Any]:
+        return {p.name: p.default for p in self.params}
+
+
+#: name -> family; populated by ``repro.scenarios.families`` at import.
+SCENARIOS: dict[str, ScenarioFamily] = {}
+
+
+def register_scenario(
+    name: str, summary: str, params: tuple[ParamSpec, ...]
+) -> Callable[[Builder], Builder]:
+    """Decorator registering *builder* as scenario family *name*."""
+    names = [p.name for p in params]
+    if len(set(names)) != len(names):
+        raise ValueError(f"scenario {name!r}: duplicate parameter names in {names}")
+
+    def deco(builder: Builder) -> Builder:
+        if name in SCENARIOS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        SCENARIOS[name] = ScenarioFamily(
+            name=name, summary=summary, params=params, builder=builder
+        )
+        return builder
+
+    return deco
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look a family up; unknown names list what is available."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def list_families() -> list[ScenarioFamily]:
+    """All registered families, sorted by name."""
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+
+
+def resolve_params(
+    family: ScenarioFamily, overrides: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Resolve *overrides* against the family schema.
+
+    Unknown keys raise with the legal parameter names; known keys are
+    coerced to their declared type and range-checked.  The result is the
+    complete parameter mapping (defaults filled in), canonically sorted.
+    """
+    known = {p.name for p in family.params}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValueError(
+            f"scenario {family.name!r}: unknown parameter(s) {unknown}; "
+            f"declared: {sorted(known)}"
+        )
+    resolved = family.defaults()
+    for key, value in overrides.items():
+        resolved[key] = family.param(key).coerce(value)
+    return canonical_params(resolved)
+
+
+def resolve(spec: ScenarioSpec) -> tuple[ScenarioFamily, dict[str, Any], str]:
+    """Validate *spec* fully: returns (family, resolved params, hash)."""
+    family = get_family(spec.scenario)
+    resolved = resolve_params(family, spec.params)
+    return family, resolved, spec_hash(spec.scenario, resolved, spec.seed)
+
+
+def generate_instance(spec: ScenarioSpec) -> ClusterState:
+    """Generate the instance a spec describes (the registry's main entry).
+
+    Deterministic: equal specs (after canonicalization) produce
+    byte-identical :class:`ClusterState` objects.
+    """
+    family, resolved, _ = resolve(spec)
+    return family.builder(resolved, int(spec.seed))

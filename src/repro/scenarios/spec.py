@@ -1,0 +1,193 @@
+"""Scenario specs: typed parameter schemas, canonicalization, hashing.
+
+A scenario is identified by a :class:`ScenarioSpec` — family name,
+parameter overrides, seed.  Two properties make specs the cache key the
+parallel driver and CI lean on:
+
+* **Canonical form** — parameters are resolved against the family's
+  declared schema (defaults filled in, values coerced to their declared
+  type) and serialized with sorted keys, so logically equal specs have
+  one canonical JSON rendering regardless of how the caller ordered or
+  typed the parameters (``util=0.8`` vs ``util="0.8"``; ``{a,b}`` vs
+  ``{b,a}``).
+* **Content address** — :func:`spec_hash` is the SHA-256 of that
+  canonical JSON.  Equal hash ⇒ equal generator inputs ⇒ (by the
+  seeding contract, see docs/ARCHITECTURE.md "Scenario registry")
+  byte-identical instances, so artifacts may be cached by hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["ParamSpec", "ScenarioSpec", "canonical_params", "spec_hash"]
+
+#: Python types behind each declared parameter type.
+_PARAM_TYPES: dict[str, type] = {"int": int, "float": float, "str": str, "bool": bool}
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of a scenario family.
+
+    Attributes
+    ----------
+    name:
+        Parameter key, as written in specs and ``--param name=value``.
+    type:
+        ``"int"`` | ``"float"`` | ``"str"`` | ``"bool"``.
+    default:
+        Value used when a spec does not override the parameter.
+    low / high:
+        Inclusive numeric range (numeric types only; ``None`` = open).
+    choices:
+        Allowed values (``str`` parameters only; ``None`` = free).
+    doc:
+        One-line description shown by ``repro scenarios list/show``.
+    """
+
+    name: str
+    type: str
+    default: Any
+    low: float | None = None
+    high: float | None = None
+    choices: tuple[str, ...] | None = None
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in _PARAM_TYPES:
+            raise ValueError(
+                f"parameter {self.name!r}: unknown type {self.type!r} "
+                f"(expected one of {sorted(_PARAM_TYPES)})"
+            )
+        object.__setattr__(self, "default", self.coerce(self.default))
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce *value* to the declared type and check its range.
+
+        Accepts strings (the CLI ``--param`` path) as well as Python
+        values; raises ``ValueError`` with the parameter name, offending
+        value and the legal range/choices on any violation.
+        """
+        py_type = _PARAM_TYPES[self.type]
+        try:
+            if self.type == "bool":
+                coerced = _coerce_bool(value)
+            elif self.type == "int":
+                coerced = _coerce_int(value)
+            else:
+                coerced = py_type(value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"parameter {self.name!r}: cannot read {value!r} as {self.type}"
+            ) from exc
+        if self.choices is not None and coerced not in self.choices:
+            raise ValueError(
+                f"parameter {self.name!r}: {coerced!r} is not one of {list(self.choices)}"
+            )
+        if self.low is not None and coerced < self.low:
+            raise ValueError(
+                f"parameter {self.name!r}: {coerced!r} is below the minimum {self.low!r}"
+            )
+        if self.high is not None and coerced > self.high:
+            raise ValueError(
+                f"parameter {self.name!r}: {coerced!r} is above the maximum {self.high!r}"
+            )
+        return coerced
+
+    def describe(self) -> str:
+        """Compact ``name=default [type, range]`` rendering for listings."""
+        parts = [self.type]
+        if self.choices is not None:
+            parts.append("|".join(self.choices))
+        elif self.low is not None or self.high is not None:
+            lo = "-inf" if self.low is None else f"{self.low:g}"
+            hi = "inf" if self.high is None else f"{self.high:g}"
+            parts.append(f"{lo}..{hi}")
+        return f"{self.name}={self.default!r} [{', '.join(parts)}]"
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"not a boolean: {value!r}")
+    if isinstance(value, int):
+        return bool(value)
+    raise TypeError(f"not a boolean: {value!r}")
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("booleans are not integers here")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(f"not an integer: {value!r}")
+        return int(value)
+    return int(str(value), 10)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully specified scenario: family + parameter overrides + seed.
+
+    ``params`` holds only the caller's overrides; resolution against the
+    family schema (defaults, coercion, validation) happens in
+    :func:`repro.scenarios.registry.resolve_params`.  Specs are plain
+    data and JSON round-trippable (:meth:`to_dict` / :meth:`from_dict`).
+    """
+
+    scenario: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so hashing/equality see stable contents.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "params": dict(sorted(self.params.items())),
+            "seed": int(self.seed),
+        }
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "ScenarioSpec":
+        return ScenarioSpec(
+            scenario=str(doc["scenario"]),
+            params=dict(doc.get("params", {})),
+            seed=int(doc.get("seed", 0)),
+        )
+
+
+def canonical_params(resolved: Mapping[str, Any]) -> dict[str, Any]:
+    """Sorted-key copy of an already-resolved parameter mapping."""
+    return {key: resolved[key] for key in sorted(resolved)}
+
+
+def spec_hash(scenario: str, resolved: Mapping[str, Any], seed: int) -> str:
+    """Content address of a resolved spec: first 12 hex chars of the
+    SHA-256 over the canonical JSON (sorted keys, coerced values).
+
+    Floats are serialized through ``repr`` via ``json.dumps`` which is
+    value-exact for Python floats, so equal values always hash equally
+    and the hash is stable across processes and platforms.
+    """
+    doc = {
+        "scenario": scenario,
+        "params": canonical_params(resolved),
+        "seed": int(seed),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]

@@ -1,19 +1,34 @@
 """Named instance suites used by the experiment harness.
 
-Each suite is a list of ``(name, ClusterState)`` pairs generated from
-fixed seeds, so every benchmark run sees byte-identical instances.  The
-suites mirror the two data sources of the paper's evaluation: synthetic
-data (uniform and Zipf) and datacenter snapshots (our substitution for
-the production data, see DESIGN.md §3).
+Each suite is a list of ``(name, ClusterState)`` pairs built by looking
+up a :class:`~repro.scenarios.ScenarioSpec` in the scenario registry
+(``repro.scenarios``), so every benchmark run sees byte-identical
+instances and every suite member has a canonical, content-addressed
+spec.  The suites mirror the two data sources of the paper's
+evaluation: synthetic data (uniform and Zipf) and datacenter snapshots
+(our substitution for the production data, see DESIGN.md §3).
+
+The spec mapping is exact: each suite passes the same parameters the
+old hand-built ``SyntheticConfig`` / ``DatacenterConfig`` wiring did
+(with ``seed=spec.seed`` fed straight through), so instances are
+byte-identical to those of earlier releases and the numbers recorded in
+EXPERIMENTS.md remain valid.  ``suite_specs`` exposes the spec lists
+themselves for tooling that wants the canonical form (hashes, matrix
+axes) rather than materialized instances.
+
+Imports of ``repro.scenarios`` are deferred into the function bodies:
+the scenario families import the workload generators at module scope,
+so a top-level import here would be circular.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.cluster import ClusterState
-from repro.workloads.datacenter import DatacenterConfig, generate_datacenter
-from repro.workloads.synthetic import SyntheticConfig, generate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle at runtime only
+    from repro.scenarios import ScenarioSpec
 
 __all__ = [
     "small_suite",
@@ -21,23 +36,76 @@ __all__ = [
     "tight_suite",
     "datacenter_suite",
     "scaling_suite",
+    "suite_specs",
 ]
+
+
+def _materialize(
+    named_specs: list[tuple[str, "ScenarioSpec"]],
+) -> list[tuple[str, ClusterState]]:
+    from repro.scenarios import generate_instance
+
+    return [(name, generate_instance(spec)) for name, spec in named_specs]
+
+
+def _small_specs(seeds: Iterable[int]) -> list[tuple[str, "ScenarioSpec"]]:
+    from repro.scenarios import ScenarioSpec
+
+    out: list[tuple[str, "ScenarioSpec"]] = []
+    for seed in seeds:
+        for m, spm in ((4, 4), (6, 4), (8, 3)):
+            spec = ScenarioSpec(
+                "zipf-popularity",
+                {
+                    "num_machines": m,
+                    "shards_per_machine": spm,
+                    "target_utilization": 0.7,
+                    "placement_skew": 0.5,
+                },
+                seed=seed,
+            )
+            out.append((f"small-m{m}n{m * spm}-s{seed}", spec))
+    return out
 
 
 def small_suite(seeds: Iterable[int] = (0, 1, 2)) -> list[tuple[str, ClusterState]]:
     """Tiny instances solvable exactly by the MILP backend (E9)."""
-    out: list[tuple[str, ClusterState]] = []
-    for seed in seeds:
-        for m, spm in ((4, 4), (6, 4), (8, 3)):
-            cfg = SyntheticConfig(
-                num_machines=m,
-                shards_per_machine=spm,
-                target_utilization=0.7,
-                demand_dist="zipf",
-                placement_skew=0.5,
-                seed=seed,
-            )
-            out.append((f"small-m{m}n{cfg.num_shards}-s{seed}", generate(cfg)))
+    return _materialize(_small_specs(seeds))
+
+
+def _synthetic_specs(
+    utilizations: Iterable[float],
+    seeds: Iterable[int],
+    *,
+    num_machines: int,
+    shards_per_machine: int,
+) -> list[tuple[str, "ScenarioSpec"]]:
+    from repro.scenarios import ScenarioSpec
+
+    out: list[tuple[str, "ScenarioSpec"]] = []
+    for dist in ("uniform", "zipf"):
+        for util in utilizations:
+            for seed in seeds:
+                shape = {
+                    "num_machines": num_machines,
+                    "shards_per_machine": shards_per_machine,
+                    "target_utilization": util,
+                    "placement_skew": 0.55,
+                    "max_shard_fraction": 0.35,
+                }
+                # Uniform rows map onto the correlated-demand family
+                # (which parameterizes the distribution), zipf rows onto
+                # the canonical zipf-popularity family; both resolve to
+                # the same SyntheticConfig the suite always used.
+                if dist == "uniform":
+                    spec = ScenarioSpec(
+                        "correlated-demand",
+                        {**shape, "demand_dist": "uniform"},
+                        seed=seed,
+                    )
+                else:
+                    spec = ScenarioSpec("zipf-popularity", shape, seed=seed)
+                out.append((f"{dist}-u{util:.2f}-s{seed}", spec))
     return out
 
 
@@ -55,54 +123,89 @@ def synthetic_suite(
     machine); big shards are what make the transient constraint bind and
     separate the algorithms — see DESIGN.md §3.
     """
-    out: list[tuple[str, ClusterState]] = []
-    for dist in ("uniform", "zipf"):
-        for util in utilizations:
-            for seed in seeds:
-                cfg = SyntheticConfig(
-                    num_machines=num_machines,
-                    shards_per_machine=shards_per_machine,
-                    target_utilization=util,
-                    demand_dist=dist,  # type: ignore[arg-type]
-                    placement_skew=0.55,
-                    max_shard_fraction=0.35,
-                    seed=seed,
-                )
-                out.append((f"{dist}-u{util:.2f}-s{seed}", generate(cfg)))
-    return out
+    return _materialize(
+        _synthetic_specs(
+            utilizations,
+            seeds,
+            num_machines=num_machines,
+            shards_per_machine=shards_per_machine,
+        )
+    )
+
+
+def _tight_specs(seeds: Iterable[int]) -> list[tuple[str, "ScenarioSpec"]]:
+    from repro.scenarios import ScenarioSpec
+
+    return [
+        (
+            f"tight-u0.88-s{seed}",
+            ScenarioSpec(
+                "zipf-popularity",
+                {
+                    "num_machines": 40,
+                    "shards_per_machine": 6,
+                    "target_utilization": 0.88,
+                    "placement_skew": 0.5,
+                    "max_shard_fraction": 0.35,
+                },
+                seed=seed,
+            ),
+        )
+        for seed in seeds
+    ]
 
 
 def tight_suite(seeds: Iterable[int] = (0, 1, 2)) -> list[tuple[str, ClusterState]]:
     """Stringent-resource instances where transient constraints bind (E2, E7)."""
-    out: list[tuple[str, ClusterState]] = []
+    return _materialize(_tight_specs(seeds))
+
+
+def _datacenter_specs(seeds: Iterable[int]) -> list[tuple[str, "ScenarioSpec"]]:
+    from repro.scenarios import ScenarioSpec
+
+    out: list[tuple[str, "ScenarioSpec"]] = []
     for seed in seeds:
-        cfg = SyntheticConfig(
-            num_machines=40,
-            shards_per_machine=6,
-            target_utilization=0.88,
-            demand_dist="zipf",
-            placement_skew=0.5,
-            max_shard_fraction=0.35,
-            seed=seed,
-        )
-        out.append((f"tight-u0.88-s{seed}", generate(cfg)))
+        for m, drift in ((80, 0.3), (120, 0.4)):
+            spec = ScenarioSpec(
+                "heterogeneous-generations",
+                {
+                    "num_machines": m,
+                    "shards_per_machine": 12,
+                    "target_utilization": 0.8,
+                    "drift": drift,
+                },
+                seed=seed,
+            )
+            out.append((f"dc-m{m}-d{drift:.1f}-s{seed}", spec))
     return out
 
 
 def datacenter_suite(seeds: Iterable[int] = (0, 1, 2)) -> list[tuple[str, ClusterState]]:
     """Drifted datacenter snapshots — the "real data" stand-in (E5)."""
-    out: list[tuple[str, ClusterState]] = []
-    for seed in seeds:
-        for m, drift in ((80, 0.3), (120, 0.4)):
-            cfg = DatacenterConfig(
-                num_machines=m,
-                shards_per_machine=12,
-                target_utilization=0.8,
-                drift=drift,
+    return _materialize(_datacenter_specs(seeds))
+
+
+def _scaling_specs(
+    sizes: Iterable[tuple[int, int]], seed: int
+) -> list[tuple[str, "ScenarioSpec"]]:
+    from repro.scenarios import ScenarioSpec
+
+    return [
+        (
+            f"scale-m{m}-n{m * spm}",
+            ScenarioSpec(
+                "zipf-popularity",
+                {
+                    "num_machines": m,
+                    "shards_per_machine": spm,
+                    "target_utilization": 0.8,
+                    "placement_skew": 0.5,
+                },
                 seed=seed,
-            )
-            out.append((f"dc-m{m}-d{drift:.1f}-s{seed}", generate_datacenter(cfg)))
-    return out
+            ),
+        )
+        for m, spm in sizes
+    ]
 
 
 def scaling_suite(
@@ -110,15 +213,27 @@ def scaling_suite(
     seed: int = 0,
 ) -> list[tuple[str, ClusterState]]:
     """Increasing-size instances for the runtime scaling study (E6)."""
-    out: list[tuple[str, ClusterState]] = []
-    for m, spm in sizes:
-        cfg = SyntheticConfig(
-            num_machines=m,
-            shards_per_machine=spm,
-            target_utilization=0.8,
-            demand_dist="zipf",
-            placement_skew=0.5,
-            seed=seed,
-        )
-        out.append((f"scale-m{m}-n{cfg.num_shards}", generate(cfg)))
-    return out
+    return _materialize(_scaling_specs(sizes, seed))
+
+
+def suite_specs(suite: str) -> list[tuple[str, "ScenarioSpec"]]:
+    """The canonical specs behind a named suite (default arguments).
+
+    Useful when tooling needs the content-addressed form — spec hashes,
+    matrix axes, EXPERIMENTS.md provenance — without materializing the
+    instances.  Raises :class:`ValueError` for unknown suite names.
+    """
+    builders = {
+        "small": lambda: _small_specs((0, 1, 2)),
+        "synthetic": lambda: _synthetic_specs(
+            (0.6, 0.75, 0.9), (0, 1, 2), num_machines=50, shards_per_machine=6
+        ),
+        "tight": lambda: _tight_specs((0, 1, 2)),
+        "datacenter": lambda: _datacenter_specs((0, 1, 2)),
+        "scaling": lambda: _scaling_specs(
+            ((20, 10), (50, 10), (100, 10), (200, 10), (400, 10)), 0
+        ),
+    }
+    if suite not in builders:
+        raise ValueError(f"unknown suite {suite!r}; available: {sorted(builders)}")
+    return builders[suite]()

@@ -201,6 +201,12 @@ class TestExperiment:
         assert main(["experiment", "e99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_unknown_experiment_lists_registry_in_numeric_order(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        err = capsys.readouterr().err
+        # e2 must come before e10 — numeric registry order, not lexicographic.
+        assert err.index("'e2'") < err.index("'e10'")
+
     def test_missing_id_without_all_errors(self, capsys):
         assert main(["experiment"]) == 2
         assert "--all" in capsys.readouterr().err
@@ -270,6 +276,162 @@ class TestRuntime:
         code = main(["runtime", str(snapshot), "--profile", str(bad)])
         assert code == 2
         assert "profile covers" in capsys.readouterr().err
+
+
+class TestScenarios:
+    def test_list_shows_all_families_with_schemas(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "zipf-popularity",
+            "correlated-demand",
+            "capacity-headroom",
+            "heterogeneous-generations",
+            "multi-tenant",
+            "failure-storm",
+            "replicated-shards",
+        ):
+            assert name in out
+        assert "num_machines" in out  # parameter schemas are printed
+
+    def test_show_prints_parameter_ranges(self, capsys):
+        assert main(["scenarios", "show", "failure-storm"]) == 0
+        out = capsys.readouterr().out
+        assert "waves" in out
+        assert "loss_fraction" in out
+        assert "seed" not in out.split()[0]  # header is the scenario name
+
+    def test_show_unknown_scenario_errors(self, capsys):
+        assert main(["scenarios", "show", "quantum-noise"]) == 2
+        err = capsys.readouterr().err
+        assert "quantum-noise" in err
+        assert "zipf-popularity" in err  # alternatives listed
+
+    def test_generate_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "scn.json"
+        code = main(
+            [
+                "scenarios", "generate", "zipf-popularity",
+                "--param", "num_machines=6",
+                "--param", "shards_per_machine=3",
+                "--seed", "4",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "hash" in stdout
+        state = load_json(out)
+        state.validate()
+        assert state.num_machines == 6
+        assert state.num_shards == 18
+
+    def test_generate_preserves_offline_machines(self, tmp_path):
+        out = tmp_path / "storm.json"
+        code = main(
+            [
+                "scenarios", "generate", "failure-storm",
+                "--param", "num_machines=8",
+                "--param", "shards_per_machine=3",
+                "--param", "waves=1",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert int(load_json(out).offline_mask.sum()) >= 1
+
+    def test_generate_unknown_param_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios", "generate", "zipf-popularity",
+                "--param", "warp_factor=9",
+                "--out", str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "warp_factor" in err
+        assert "num_machines" in err  # declared parameters listed
+
+    def test_generate_out_of_range_param_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios", "generate", "zipf-popularity",
+                "--param", "target_utilization=7.5",
+                "--out", str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        assert "target_utilization" in capsys.readouterr().err
+
+    def test_generate_malformed_param_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios", "generate", "zipf-popularity",
+                "--param", "num_machines",
+                "--out", str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        assert "K=V" in capsys.readouterr().err
+
+    def test_matrix_smoke_runs_and_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "mat"
+        code = main(
+            [
+                "scenarios", "matrix", "--smoke",
+                "--algorithms", "greedy,noop",
+                "--iterations", "10",
+                "--out-dir", str(out_dir),
+                "--verify-determinism",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "determinism verified" in out
+        index = json.loads((out_dir / "index.json").read_text())
+        assert len(index) == 8  # 4 smoke specs x 2 algorithms
+        assert all(meta["ok"] for meta in index.values())
+
+    def test_matrix_explicit_scenarios_with_params(self, capsys):
+        code = main(
+            [
+                "scenarios", "matrix",
+                "--scenario", "zipf-popularity",
+                "--param", "zipf-popularity.num_machines=6",
+                "--param", "zipf-popularity.shards_per_machine=3",
+                "--algorithms", "noop",
+                "--iterations", "5",
+            ]
+        )
+        assert code == 0
+        assert "matrix cell zipf-popularity-" in capsys.readouterr().out
+
+    def test_matrix_unknown_algorithm_errors(self, capsys):
+        code = main(
+            [
+                "scenarios", "matrix", "--smoke",
+                "--algorithms", "greedy,annealing",
+            ]
+        )
+        assert code == 2
+        assert "annealing" in capsys.readouterr().err
+
+    def test_matrix_without_smoke_or_scenario_errors(self, capsys):
+        assert main(["scenarios", "matrix"]) == 2
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_matrix_param_for_excluded_scenario_errors(self, capsys):
+        code = main(
+            [
+                "scenarios", "matrix",
+                "--scenario", "zipf-popularity",
+                "--param", "failure-storm.waves=1",
+                "--algorithms", "noop",
+            ]
+        )
+        assert code == 2
+        assert "failure-storm" in capsys.readouterr().err
 
 
 class TestParser:
