@@ -7,8 +7,10 @@ from repro.algorithms.baselines import (
     NoopRebalancer,
     RandomRestartRebalancer,
 )
+from repro.algorithms.budget import MigrationBudget
 from repro.algorithms.destroy import (
     DEFAULT_DESTROY_OPS,
+    BudgetLocalityBias,
     exchange_swap_removal,
     random_removal,
     shaw_removal,
@@ -42,6 +44,8 @@ __all__ = [
     "AlnsOutcome",
     "SRA",
     "SRAConfig",
+    "MigrationBudget",
+    "BudgetLocalityBias",
     "PortfolioRebalancer",
     "random_removal",
     "worst_machine_removal",

@@ -14,6 +14,11 @@ wrong:
 * :func:`vacancy_removal` — empty the in-service machine that is closest
   to vacant, minting a returnable machine (the operator that implements
   the exchange semantics inside the search; ablated in E10).
+* :class:`BudgetLocalityBias` — wrapper installed by SRA when a bounded
+  :class:`~repro.algorithms.budget.MigrationBudget` is configured: at
+  the budget boundary, removal is redirected to already-moved shards so
+  the search explores *within* budget instead of generating candidates
+  the best filter must veto.
 
 Every operator has the uniform signature
 ``op(state, rng, quantity) -> list[int]`` and leaves removed shards
@@ -26,6 +31,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.algorithms.budget import MigrationBudget
 from repro.cluster import ClusterState
 
 __all__ = [
@@ -35,6 +41,7 @@ __all__ = [
     "shaw_removal",
     "vacancy_removal",
     "exchange_swap_removal",
+    "BudgetLocalityBias",
     "DEFAULT_DESTROY_OPS",
 ]
 
@@ -189,6 +196,48 @@ def exchange_swap_removal(
     state.unblock_machine(release)
     state.block_machine(close)
     return members
+
+
+class BudgetLocalityBias:
+    """Move-budget locality wrapper around a destroy operator.
+
+    While the working state's placement delta from *reference* is still
+    inside *budget*, the wrapped operator runs unchanged.  At or beyond
+    the boundary (:meth:`MigrationBudget.exhausted` over the moved-shard
+    count and their summed index sizes) removal is redirected to the
+    *already-moved* shards, drawn uniformly by the same rng: a moved
+    shard's reinsertion can only keep or shrink the move set, so the
+    search walks the budget boundary — swapping which shards spend the
+    budget — instead of bouncing off the best-filter veto.
+
+    The byte side of the boundary check uses raw moved-shard sizes (no
+    staging hops); the authoritative byte cap is enforced by the best
+    filter against the scheduled plan.
+    """
+
+    def __init__(
+        self,
+        base: DestroyOperator,
+        reference: np.ndarray,
+        sizes: np.ndarray,
+        budget: MigrationBudget,
+    ) -> None:
+        self.base = base
+        self.reference = np.asarray(reference, dtype=np.int64)
+        self.sizes = np.asarray(sizes, dtype=np.float64)
+        self.budget = budget
+        self.__name__ = f"budget[{base.__name__}]"
+
+    def __call__(
+        self, state: ClusterState, rng: np.random.Generator, quantity: int
+    ) -> list[int]:
+        moved = np.flatnonzero(state.assignment_view() != self.reference)
+        if moved.size == 0 or not self.budget.exhausted(
+            int(moved.size), float(self.sizes[moved].sum())
+        ):
+            return self.base(state, rng, quantity)
+        take = min(quantity, int(moved.size))
+        return _remove(state, rng.choice(moved, size=take, replace=False))
 
 
 #: Default operator portfolio of SRA.

@@ -342,7 +342,7 @@ class AlnsEngine:
         history: list[float],
         started: float,
         use_delta: bool,
-        tracer,
+        tracer: obs.Tracer,
         trace_on: bool,
         exchange: IncumbentChannel | None = None,
     ) -> tuple[int, int, int, np.ndarray | None, float, float, int, int]:
@@ -536,4 +536,5 @@ def _update_weights(
 ) -> np.ndarray:
     observed = np.divide(scores, np.maximum(uses, 1.0))
     new = (1.0 - reaction) * weights + reaction * observed
-    return np.maximum(new, 0.05)  # keep every operator alive
+    floored: np.ndarray = np.maximum(new, 0.05)  # keep every operator alive
+    return floored

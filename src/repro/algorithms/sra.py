@@ -27,8 +27,10 @@ from repro.cluster import ClusterState, ExchangeLedger
 from repro.algorithms.baselines import LocalSearchRebalancer
 from repro.migration import StagingPlanner, WaveScheduler, diff_moves
 from repro.algorithms.base import RebalanceResult, Rebalancer, finalize_result
+from repro.algorithms.budget import MigrationBudget
 from repro.algorithms.destroy import (
     DEFAULT_DESTROY_OPS,
+    BudgetLocalityBias,
     DestroyOperator,
     random_removal,
     shaw_removal,
@@ -39,7 +41,7 @@ from repro.algorithms.objective import IncrementalObjective, Objective
 from repro.algorithms.repair import DEFAULT_REPAIR_OPS, RepairOperator
 from repro.algorithms.sra_config import SRAConfig
 
-__all__ = ["SRA", "SRAConfig"]
+__all__ = ["SRA", "SRAConfig", "MigrationBudget"]
 
 
 class SRA(Rebalancer):
@@ -70,10 +72,32 @@ class SRA(Rebalancer):
 
     # ------------------------------------------------------------------ API
     def rebalance(
-        self, state: ClusterState, ledger: ExchangeLedger | None = None
+        self,
+        state: ClusterState,
+        ledger: ExchangeLedger | None = None,
+        *,
+        warm_start: "np.ndarray | None" = None,
     ) -> RebalanceResult:
+        """Solve one episode.
+
+        ``warm_start`` seeds the search from an explicit assignment (the
+        serving placement of a continuous controller, a previous round's
+        incumbent, ...) instead of ``state.assignment``.  The *objective
+        reference* stays ``state.assignment`` regardless: move penalties,
+        the migration plan, and any ``migration_budget`` are measured
+        against the placement the cluster is actually serving from, so a
+        warm-started round still returns an executable delta.  Passing
+        ``warm_start=state.assignment`` (or ``None``) is bitwise-identical
+        to the historical cold solve — the warm-start contract pinned by
+        the parity tests.
+        """
         cfg = self.config
         if cfg.restarts > 1:
+            if warm_start is not None:
+                raise ValueError(
+                    "warm_start requires restarts == 1: the restart fan-out "
+                    "seeds each restart from the published instance state"
+                )
             # Best-of-K independent restarts, fanned across the worker
             # pool sized by alns.n_workers (see repro.parallel).
             from repro.parallel import run_sra_restarts
@@ -101,8 +125,22 @@ class SRA(Rebalancer):
             WaveScheduler(),
             max_hops_per_shard=cfg.max_hops_per_shard,
         )
+        budget = cfg.migration_budget
+        if budget is not None and not budget.bounded:
+            budget = None
+        reference = state.assignment_view()
+        sizes = state.sizes
+
+        def within_budget(candidate: ClusterState) -> bool:
+            assert budget is not None
+            moved = candidate.assignment_view() != reference
+            return budget.admits(
+                int(np.count_nonzero(moved)), float(sizes[moved].sum())
+            )
 
         def best_filter(candidate: ClusterState) -> bool:
+            if budget is not None and not within_budget(candidate):
+                return False
             if not cfg.feasibility_coupling:
                 return objective.is_feasible(candidate)
             if not objective.is_feasible(candidate):
@@ -110,21 +148,52 @@ class SRA(Rebalancer):
             if ledger is not None and not ledger.is_satisfiable(candidate):
                 return False
             moves = diff_moves(state, candidate.assignment_view())
-            return planner.plan(state, candidate.assignment).feasible if moves else True
+            if not moves:
+                return True
+            plan = planner.plan(state, candidate.assignment)
+            if not plan.feasible:
+                return False
+            # The authoritative byte cap: what the executor would actually
+            # transfer, staging hops included.
+            if (
+                budget is not None
+                and budget.max_bytes is not None
+                and plan.schedule.total_bytes() > budget.max_bytes
+            ):
+                return False
+            return True
 
         # Pin R designated-return machines (blocked = kept empty) so every
         # intermediate state satisfies the exchange contract structurally;
         # the exchange_swap_removal operator searches over which machines
         # those are.  Prefer borrowed machines as the initial designees.
         work = state.copy()
+        if warm_start is not None:
+            warm = np.asarray(warm_start, dtype=np.int64)
+            if warm.shape != (state.num_shards,):
+                raise ValueError(
+                    f"warm_start must have shape ({state.num_shards},), "
+                    f"got {warm.shape}"
+                )
+            work.apply_assignment(warm)
         if required > 0:
             vacant = list(work.vacant_machines())
+            if len(vacant) < required:
+                # Continuous release rounds (borrow nothing, owe R) start
+                # from a fully occupied fleet where no machine can be
+                # blocked and exchange_swap_removal has no designee to
+                # swap — the contract would be structurally unreachable.
+                # Drain the cheapest machines so the search starts live.
+                _drain_machines(work, required - len(vacant))
+                vacant = list(work.vacant_machines())
             preferred = [m for m in (ledger.borrowed_ids if ledger else ()) if m in vacant]
             rest = [m for m in vacant if m not in set(preferred)]
             for mid in (preferred + rest)[:required]:
                 work.block_machine(int(mid))
 
-        engine = AlnsEngine(cfg.alns, self._destroy_ops(), self._repair_ops())
+        engine = AlnsEngine(
+            cfg.alns, self._destroy_ops(budget, reference, sizes), self._repair_ops()
+        )
         initial_valid = objective.is_feasible(work) and (
             ledger is None or ledger.is_satisfiable(work)
         )
@@ -202,11 +271,62 @@ class SRA(Rebalancer):
         )
         return polished
 
-    def _destroy_ops(self) -> tuple[DestroyOperator, ...]:
+    def _destroy_ops(
+        self,
+        budget: MigrationBudget | None = None,
+        reference: "np.ndarray | None" = None,
+        sizes: "np.ndarray | None" = None,
+    ) -> tuple[DestroyOperator, ...]:
         if self.config.use_vacancy_removal:
-            return DEFAULT_DESTROY_OPS
-        # Ablation: no vacancy-minting and no designee swapping.
-        return (random_removal, worst_machine_removal, shaw_removal)
+            ops: tuple[DestroyOperator, ...] = DEFAULT_DESTROY_OPS
+        else:
+            # Ablation: no vacancy-minting and no designee swapping.
+            ops = (random_removal, worst_machine_removal, shaw_removal)
+        if budget is None or reference is None or sizes is None:
+            return ops
+        # Bounded episode: every operator explores within budget (see
+        # BudgetLocalityBias).  The portfolio shape — and hence the
+        # roulette RNG stream — is unchanged; only removal targets shift
+        # once the working state reaches the budget boundary.
+        return tuple(
+            BudgetLocalityBias(op, reference, sizes, budget) for op in ops
+        )
 
     def _repair_ops(self) -> tuple[RepairOperator, ...]:
         return DEFAULT_REPAIR_OPS
+
+
+def _drain_machines(work: ClusterState, count: int) -> None:
+    """Vacate the *count* least-utilized open machines of *work* in place.
+
+    Support for continuous release rounds: when the ledger owes more
+    returns than there are vacant machines, the designee-blocking prelude
+    has nothing to block and ``exchange_swap_removal`` (which only swaps
+    an *existing* designee) can never establish the contract.  This
+    drains the cheapest occupied machines greedily — each shard, largest
+    first, to the open machine with the most summed headroom — producing
+    a valid (not necessarily feasible) start the search then repacks.
+    Fully deterministic: ties resolve to the lowest machine id.
+    """
+    blocked = work.blocked_mask | work.offline_mask
+    counts = work.shard_counts_view()
+    occupied = np.flatnonzero(~blocked & (counts > 0))
+    if occupied.size <= count:
+        # Impossible contract (no machine would be left to host the
+        # drained shards): leave the state untouched — the search then
+        # reports the episode infeasible, the historical behaviour.
+        return
+    util = (work.loads[occupied] / work.capacity[occupied]).sum(axis=1)
+    victims = occupied[np.argsort(util, kind="stable")[:count]]
+    # Destinations: open machines that are neither a victim nor already
+    # vacant (existing vacancies are the other designees — keep them so).
+    banned = blocked.copy()
+    banned[victims] = True
+    banned[counts == 0] = True
+    for victim in victims:
+        members = work.machine_shards(int(victim))
+        members = members[np.argsort(-work.demand[members].sum(axis=1), kind="stable")]
+        for shard in members:
+            head = work.headroom().sum(axis=1)
+            head[banned] = -np.inf
+            work.move(int(shard), int(np.argmax(head)))

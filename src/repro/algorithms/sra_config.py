@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.algorithms.budget import MigrationBudget
 from repro.algorithms.lns import AlnsConfig
 from repro.algorithms.objective import ObjectiveWeights
 
-__all__ = ["SRAConfig"]
+__all__ = ["SRAConfig", "MigrationBudget"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,16 @@ class SRAConfig:
         Re-derive every delta-evaluated objective from scratch and raise
         on any mismatch (see the "Delta evaluation contract" section of
         docs/ARCHITECTURE.md).  Slow; for tests and operator development.
+    migration_budget:
+        Per-round churn allowance for incremental (continuous) episodes:
+        caps the shards moved and/or bytes migrated relative to the
+        episode's reference assignment (``state.assignment`` at
+        ``rebalance`` entry — *not* the warm start).  ``None`` (default)
+        and an all-``None`` budget leave the search unbounded and the
+        solve path bitwise-identical to previous releases.  When
+        bounded, the best filter rejects over-budget candidates and the
+        destroy portfolio becomes locality-biased at the budget
+        boundary (see ``repro.algorithms.budget``).
     """
 
     alns: AlnsConfig = field(default_factory=AlnsConfig)
@@ -80,6 +91,7 @@ class SRAConfig:
     seed: int | None = None
     n_workers: int | None = None
     debug_cross_check: bool = False
+    migration_budget: MigrationBudget | None = None
 
     def __post_init__(self) -> None:
         if self.max_hops_per_shard < 1:

@@ -11,8 +11,11 @@
 * ``runtime``    — serve a snapshot on the unified event runtime
   (``repro.runtime``): Poisson or diurnal arrivals, synthetic or
   measured work profiles, and optionally a mid-run SRA rebalance whose
-  migration executes wave-by-wave while queries keep arriving;
-* ``experiment`` — regenerate one experiment table (E1–E20) or, with
+  migration executes wave-by-wave while queries keep arriving — either
+  a one-shot ``--rebalance-at T`` check or a continuous ``--controller``
+  loop (``incremental`` = EWMA drift detection gating warm-started,
+  budget-bounded rounds; compose with ``--drift`` to exercise it);
+* ``experiment`` — regenerate one experiment table (E1–E21) or, with
   ``--all``, the whole suite — optionally fanned across worker
   processes (``--workers N``) by the ``repro.parallel`` driver, with
   the same artifact flags plus ``--out-dir`` for machine-readable
@@ -168,6 +171,42 @@ def build_parser() -> argparse.ArgumentParser:
                     help="serving-speed fraction lost while a NIC transfers")
     rt.add_argument("--bandwidth", type=float, default=1.25e9,
                     help="per-machine NIC bandwidth in bytes/second")
+    rt.add_argument("--controller",
+                    choices=("off", "always", "threshold", "never", "incremental"),
+                    default="off",
+                    help="continuous rebalance controller: policy checked every "
+                         "--check-interval seconds over the whole run; "
+                         "'incremental' gates warm-started, budget-bounded SRA "
+                         "rounds on an EWMA drift detector (exclusive with "
+                         "--rebalance-at)")
+    rt.add_argument("--check-interval", type=float, default=15.0,
+                    help="controller policy-check period (simulated seconds)")
+    rt.add_argument("--cooldown", type=float, default=0.0,
+                    help="minimum simulated seconds between an episode's "
+                         "completion and the next controller trigger")
+    rt.add_argument("--budget-moves", type=int, default=None,
+                    help="incremental controller: max shards moved per round")
+    rt.add_argument("--budget-bytes", type=float, default=None,
+                    help="incremental controller: max bytes migrated per round "
+                         "(scheduled plan, staging hops included)")
+    rt.add_argument("--hot-threshold", type=float, default=0.9,
+                    help="incremental detector: smoothed fleet peak that fires "
+                         "regardless of trend")
+    rt.add_argument("--slope-threshold", type=float, default=0.002,
+                    help="incremental detector: smoothed-peak rise per second "
+                         "that fires early")
+    rt.add_argument("--drift", type=float, default=None, metavar="D",
+                    help="perturb the snapshot's demand with PopularityDrift(D) "
+                         "at --drift-epochs epoch boundaries (the controller "
+                         "loop sees the drifted cluster; the serving work "
+                         "profile stays fixed)")
+    rt.add_argument("--drift-epochs", type=int, default=4,
+                    help="number of drift epochs across --duration")
+    rt.add_argument("--drift-target", type=float, default=0.7,
+                    help="drift re-demand target mean utilization")
+    rt.add_argument("--episodes-out", default=None, metavar="PATH",
+                    help="write the controller's episode records as JSON "
+                         "(simulated-time fields only — bitwise reproducible)")
     _add_obs_arguments(rt)
 
     lint = sub.add_parser(
@@ -231,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", nargs="?", default=None,
                      help="experiment id, e.g. e3 (omit with --all)")
     exp.add_argument("--all", action="store_true",
-                     help="run every registered experiment (E1-E20)")
+                     help="run every registered experiment (E1-E21)")
     exp.add_argument("--workers", type=int, default=1, metavar="N",
                      help="worker processes to run experiments on (row "
                           "tables are identical for any worker count, "
@@ -392,10 +431,15 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
 
     from repro.algorithms import SRA as _SRA
     from repro.algorithms import AlnsConfig as _AlnsConfig
+    from repro.algorithms import MigrationBudget as _MigrationBudget
     from repro.algorithms import SRAConfig as _SRAConfig
     from repro.migration import BandwidthModel
+    from repro.online import PopularityDrift
     from repro.runtime import (
         ClusterHandle,
+        DriftDetectorConfig,
+        DriftProcess,
+        IncrementalRebalanceController,
         QueryArrivalProcess,
         RebalanceController,
         Runtime,
@@ -407,6 +451,16 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     state = load_json(args.snapshot)
     if not state.is_fully_assigned():
         print("runtime: snapshot must be fully assigned", file=sys.stderr)
+        return 2
+    if args.controller != "off" and args.rebalance_at is not None:
+        print(
+            "runtime: --controller and --rebalance-at are exclusive "
+            "(one rebalancing loop per run)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.episodes_out and args.controller == "off" and args.rebalance_at is None:
+        print("runtime: --episodes-out needs a controller", file=sys.stderr)
         return 2
     if args.profile:
         profile = WorkProfile.load_json(args.profile)
@@ -448,9 +502,22 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         )
         runtime = Runtime()
         runtime.add(arrivals)
+        handle = ClusterHandle(state)
+        if args.drift is not None:
+            runtime.add(
+                DriftProcess(
+                    handle,
+                    PopularityDrift(
+                        drift=args.drift,
+                        target_utilization=args.drift_target,
+                        seed=args.seed,
+                    ),
+                    epochs=args.drift_epochs,
+                    epoch_length=args.duration / args.drift_epochs,
+                )
+            )
         controller = None
         if args.rebalance_at is not None:
-            handle = ClusterHandle(state)
             controller = RebalanceController(
                 handle,
                 _SRA(
@@ -467,6 +534,47 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
                 transfer_overhead=args.transfer_overhead,
                 trigger_at=args.rebalance_at,
             )
+            runtime.add(controller)
+        elif args.controller != "off":
+            budget = None
+            if args.budget_moves is not None or args.budget_bytes is not None:
+                budget = _MigrationBudget(
+                    max_moves=args.budget_moves, max_bytes=args.budget_bytes
+                )
+            sra = _SRA(
+                _SRAConfig(
+                    alns=_AlnsConfig(iterations=args.iterations, seed=args.seed),
+                    migration_budget=budget,
+                )
+            )
+            common = dict(
+                execution="simulated",
+                fleet=fleet,
+                location=location,
+                bandwidth=BandwidthModel(bandwidth=args.bandwidth),
+                transfer_overhead=args.transfer_overhead,
+                check_interval=args.check_interval,
+                horizon=args.duration,
+                cooldown=args.cooldown,
+            )
+            if args.controller == "incremental":
+                controller = IncrementalRebalanceController(
+                    handle,
+                    sra,
+                    detector_config=DriftDetectorConfig(
+                        hot_threshold=args.hot_threshold,
+                        slope_threshold=args.slope_threshold,
+                    ),
+                    **common,
+                )
+            else:
+                controller = RebalanceController(
+                    handle,
+                    sra,
+                    policy=args.controller,
+                    threshold=args.rebalance_threshold,
+                    **common,
+                )
             runtime.add(controller)
         end = runtime.run()
         fleet.flush()
@@ -492,6 +600,12 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
                 )
             if not controller.episodes:
                 print("rebalance         not triggered")
+            if args.episodes_out:
+                import json
+
+                with open(args.episodes_out, "w", encoding="utf-8") as fh:
+                    json.dump(controller.episodes, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
     return 0
 
 

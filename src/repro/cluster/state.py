@@ -661,6 +661,24 @@ class ClusterState:
         """(m, d) remaining capacity (may be negative when overloaded)."""
         return self._capacity - self._loads
 
+    def assignment_drift(self, reference: np.ndarray) -> tuple[int, float]:
+        """Size of the placement delta against *reference*.
+
+        Returns ``(moves, bytes)``: the number of shards whose current
+        machine differs from *reference* (unassigned counts as moved)
+        and their summed index sizes — the quantities a
+        :class:`~repro.algorithms.budget.MigrationBudget` bounds.  Note
+        the byte figure is the raw index volume; a staged migration plan
+        may transfer more (staging hops).
+        """
+        ref = np.asarray(reference, dtype=np.int64)
+        if ref.shape != (self.num_shards,):
+            raise ValueError(
+                f"reference must have shape ({self.num_shards},), got {ref.shape}"
+            )
+        moved = self._assign != ref
+        return int(np.count_nonzero(moved)), float(self.sizes[moved].sum())
+
     def machine_shards(self, machine_id: int) -> np.ndarray:
         """Shard ids currently hosted by *machine_id* (ascending)."""
         return np.flatnonzero(self._assign == machine_id)

@@ -25,6 +25,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     e18_diurnal,
     e19_loaner_sizing,
     e20_portfolio,
+    e21_controller,
 )
 from repro.experiments.harness import REGISTRY, format_table, is_full_run, print_table
 

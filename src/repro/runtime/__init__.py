@@ -23,6 +23,10 @@ Layers
 :mod:`repro.runtime.processes`
     :class:`DriftProcess` and :class:`RebalanceController` — the online
     control loop as clock-driven processes.
+:mod:`repro.runtime.controller`
+    :class:`EwmaDriftDetector` and :class:`IncrementalRebalanceController`
+    — continuous rebalancing: drift/hotspot detection over the obs
+    metrics stream gating warm-started, budget-bounded SRA rounds.
 :mod:`repro.runtime.profile`
     :func:`synthetic_profile` — snapshot-derived work matrices for
     engine-free runs.
@@ -32,6 +36,11 @@ The legacy entry points (``repro.simulate.simulate_serving``,
 their exact historical outputs.
 """
 
+from repro.runtime.controller import (
+    DriftDetectorConfig,
+    EwmaDriftDetector,
+    IncrementalRebalanceController,
+)
 from repro.runtime.kernel import EventQueue, Process, Runtime, SimClock
 from repro.runtime.machines import FCFSMachine, QueryRecord, ServingFleet
 from repro.runtime.migration import MigrationExecutor
@@ -58,5 +67,8 @@ __all__ = [
     "DriftProcess",
     "RebalanceController",
     "EpisodeOutcome",
+    "DriftDetectorConfig",
+    "EwmaDriftDetector",
+    "IncrementalRebalanceController",
     "synthetic_profile",
 ]

@@ -141,6 +141,13 @@ class RebalanceController:
         *check_interval* seconds until *horizon*.
     trigger_at:
         Optional one-shot policy check at an absolute time.
+    cooldown:
+        Minimum simulated seconds between an episode's *completion* and
+        the next trigger (0 = legacy behavior).  Together with the
+        in-flight guard this is the anti-thrash hysteresis: a new
+        episode can neither start while a migration schedule is still
+        executing, nor immediately after it lands while the fleet is
+        still absorbing the moves.
     """
 
     def __init__(
@@ -159,11 +166,13 @@ class RebalanceController:
         check_interval: Optional[float] = None,
         horizon: Optional[float] = None,
         trigger_at: Optional[float] = None,
+        cooldown: float = 0.0,
     ) -> None:
         check_in("policy", policy, ("always", "threshold", "never"))
         check_in("execution", execution, ("instant", "simulated"))
         check_positive("threshold", threshold)
         check_non_negative("exchange_budget", exchange_budget)
+        check_non_negative("cooldown", cooldown)
         if execution == "simulated":
             if fleet is None or location is None:
                 raise ValueError("simulated execution requires fleet and location")
@@ -189,11 +198,13 @@ class RebalanceController:
         self.check_interval = check_interval
         self.horizon = horizon
         self.trigger_at = trigger_at
+        self.cooldown = float(cooldown)
         #: One record per attempted episode (mutated on async completion).
         self.episodes: List[Dict[str, Any]] = []
         self._in_flight = False
         self._pending_target: Optional[np.ndarray] = None
         self._executor: Optional[MigrationExecutor] = None
+        self._last_completed: Optional[float] = None
 
     # ------------------------------------------------------------------ hooks
     def start(self, rt: Runtime) -> None:
@@ -217,25 +228,52 @@ class RebalanceController:
     def _check(self, rt: Runtime) -> None:
         self.maybe_rebalance(rt)
 
-    def should_rebalance(self, peak: float) -> bool:
+    def should_rebalance(self, peak: float, now: Optional[float] = None) -> bool:
         if self._in_flight or self.policy == "never":
             return False
+        if (
+            self.cooldown > 0.0
+            and now is not None
+            and self._last_completed is not None
+            and now - self._last_completed < self.cooldown
+        ):
+            return False
+        return self._policy_fires(peak)
+
+    def _policy_fires(self, peak: float) -> bool:
+        """The policy's trigger verdict, after the in-flight/cooldown
+        guards have passed (subclass hook: the incremental controller
+        substitutes its drift detector here)."""
         return self.policy == "always" or peak > self.threshold
 
     def maybe_rebalance(self, rt: Runtime) -> EpisodeOutcome:
         """Run one policy-gated episode; returns what happened."""
         peak = self.handle.state.peak_utilization()
-        if not self.should_rebalance(peak):
+        if not self.should_rebalance(peak, now=rt.now):
             return EpisodeOutcome(attempted=False)
         return self.rebalance_now(rt, peak_before=peak)
 
     # ---------------------------------------------------------------- episode
-    def rebalance_now(self, rt: Runtime, *, peak_before: float) -> EpisodeOutcome:
-        current = self.handle.state
-        grown, ledger = ExchangeLedger.borrow(
+    def _open_episode(self, current: ClusterState) -> tuple[ClusterState, ExchangeLedger]:
+        """Borrow for one episode (subclass hook: pool-sized loans)."""
+        return ExchangeLedger.borrow(
             current, make_exchange_machines(current, self.exchange_budget)
         )
-        result = self.rebalancer.rebalance(grown, ledger)
+
+    def _solve(self, grown: ClusterState, ledger: ExchangeLedger) -> Any:
+        """Run the rebalancer (subclass hook: warm-started solves)."""
+        return self.rebalancer.rebalance(grown, ledger)
+
+    def _on_infeasible(self, ledger: ExchangeLedger) -> None:
+        """Subclass hook: undo episode borrowing after an infeasible solve."""
+
+    def _on_settled(self, settlement: Any, returned: List[Any]) -> None:
+        """Subclass hook: route instantly-settled returns (e.g. to a pool)."""
+
+    def rebalance_now(self, rt: Runtime, *, peak_before: float) -> EpisodeOutcome:
+        current = self.handle.state
+        grown, ledger = self._open_episode(current)
+        result = self._solve(grown, ledger)
         record: Dict[str, Any] = {
             "time": rt.now,
             "peak_before": peak_before,
@@ -256,12 +294,14 @@ class RebalanceController:
                 feasible=bool(result.feasible),
             )
         if not result.feasible:
+            self._on_infeasible(ledger)
             return EpisodeOutcome(attempted=True, feasible=False)
         if self.execution == "instant":
             final = grown.copy()
             final.apply_assignment(result.target_assignment)
-            settled, _, _ = settle_fleet(final, ledger)
+            settled, settlement, returned = settle_fleet(final, ledger)
             self.handle.state = settled
+            self._on_settled(settlement, returned)
             moved_bytes = (
                 result.plan.schedule.total_bytes() if result.plan else 0.0
             )
@@ -270,6 +310,7 @@ class RebalanceController:
                 bytes_moved=moved_bytes,
                 completed_at=rt.now,
             )
+            self._last_completed = rt.now
             return EpisodeOutcome(
                 attempted=True,
                 feasible=True,
@@ -283,6 +324,7 @@ class RebalanceController:
             self.handle.state = self.handle.state.copy()
             self.handle.state.apply_assignment(result.target_assignment)
             record.update(moves=result.num_moves, completed_at=rt.now)
+            self._last_completed = rt.now
             return EpisodeOutcome(attempted=True, feasible=True, moves=result.num_moves)
         self._in_flight = True
         self._pending_target = np.asarray(result.target_assignment, dtype=np.int64)
@@ -319,3 +361,4 @@ class RebalanceController:
         self._executor = None
         self._pending_target = None
         self._in_flight = False
+        self._last_completed = rt.now

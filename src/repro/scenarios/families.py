@@ -365,6 +365,93 @@ def _build_failure_storm(params: Mapping[str, Any], seed: int) -> ClusterState:
     return state
 
 
+# ---------------------------------------------------------------- demand drift
+@register_scenario(
+    "demand-drift",
+    "hotspot-shift + flash-crowd demand over a stale placement (controller studies)",
+    _shape_params(machines=16, spm=6, util=0.75, skew=0.0)
+    + (
+        ParamSpec("zipf_alpha", "float", 1.1, low=0.2, high=3.0,
+                  doc="shard popularity exponent at placement time"),
+        ParamSpec("hotspot_shift", "float", 0.3, low=0.0, high=0.9,
+                  doc="popularity mass moved onto the hot set since placement"),
+        ParamSpec("hotspot_fraction", "float", 0.1, low=0.01, high=0.5,
+                  doc="fraction of shards forming the drifted hot set"),
+        ParamSpec("flash_multiplier", "float", 1.0, low=1.0, high=50.0,
+                  doc="demand multiplier on the flash-crowd shards (1 = none)"),
+        ParamSpec("flash_fraction", "float", 0.02, low=0.0, high=0.2,
+                  doc="fraction of shards hit by the flash crowd"),
+        ParamSpec("max_shard_fraction", "float", 0.35, low=0.05, high=0.9,
+                  doc="largest share of one machine a single shard may demand"),
+    ),
+)
+def _build_demand_drift(params: Mapping[str, Any], seed: int) -> ClusterState:
+    """Placement is computed for yesterday's workload; demand is today's.
+
+    A base zipf instance is generated (balanced or skewed placement per
+    ``placement_skew``), then the *demand* alone is rewritten: a seeded
+    hotspot shift moves ``hotspot_shift`` of the popularity mass onto a
+    random hot set, and an optional flash crowd multiplies a small shard
+    set on top.  Every dimension is re-waterfilled to the original
+    tightness with the per-shard cap, so the instance stays comparable
+    across parameters — only *where* the load sits changes.  The result
+    is the canonical continuous-rebalancing input: a placement that was
+    right once and a workload that has moved on.
+    """
+    from repro.online.drift import apply_demands
+
+    root = np.random.SeedSequence(seed)
+    base_ss, hot_ss, flash_ss = root.spawn(3)
+    state = generate(
+        SyntheticConfig(
+            num_machines=params["num_machines"],
+            shards_per_machine=params["shards_per_machine"],
+            target_utilization=params["target_utilization"],
+            demand_dist="zipf",
+            zipf_alpha=params["zipf_alpha"],
+            placement_skew=params["placement_skew"],
+            max_shard_fraction=params["max_shard_fraction"],
+            seed=int(base_ss.generate_state(1)[0]),
+        )
+    )
+    n = state.num_shards
+    demand = state.demand.copy()
+
+    # Hotspot shift: move a fraction of each dimension's mass onto a
+    # random hot set, distributed zipf-style within it (a few shards get
+    # most of the surge, like a trending query cluster).
+    shift = params["hotspot_shift"]
+    if shift > 0.0:
+        hot_rng = np.random.default_rng(hot_ss)
+        k = max(1, int(round(params["hotspot_fraction"] * n)))
+        hot = hot_rng.choice(n, size=k, replace=False)
+        surge = np.arange(1, k + 1, dtype=np.float64) ** (-params["zipf_alpha"])
+        hot_rng.shuffle(surge)
+        surge /= surge.sum()
+        totals = demand.sum(axis=0)
+        demand *= 1.0 - shift
+        demand[hot] += shift * surge[:, None] * totals[None, :]
+
+    # Flash crowd: multiply a small random shard set across the board.
+    flash_mult = params["flash_multiplier"]
+    if flash_mult > 1.0 and params["flash_fraction"] > 0.0:
+        flash_rng = np.random.default_rng(flash_ss)
+        fk = max(1, int(round(params["flash_fraction"] * n)))
+        flash = flash_rng.choice(n, size=fk, replace=False)
+        demand[flash] *= flash_mult
+
+    # Re-waterfill every dimension to the original tightness with the
+    # per-shard cap, so tightness is a controlled variable.
+    cap_per_machine = state.capacity.mean(axis=0)
+    for dim in range(state.dims):
+        demand[:, dim] = waterfill_scale(
+            demand[:, dim],
+            params["target_utilization"] * state.capacity[:, dim].sum(),
+            params["max_shard_fraction"] * cap_per_machine[dim],
+        )
+    return apply_demands(state, demand)
+
+
 # ------------------------------------------------------------ replicated shards
 @register_scenario(
     "replicated-shards",
