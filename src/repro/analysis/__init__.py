@@ -8,30 +8,51 @@ invariants"):
   walking stdlib ASTs, with line-scoped ``# repro: allow-<rule>``
   suppressions and a committed ratchet baseline (new violations fail,
   grandfathered ones are listed and may only shrink);
-* the shipped rule pack REP001–REP005 (:mod:`repro.analysis.rules`):
-  seeded RNG construction, wall-clock discipline, ClusterState
-  transaction discipline, span context-manager usage, unordered float
-  folds;
+* the shipped per-module rule pack REP001–REP005
+  (:mod:`repro.analysis.rules`): seeded RNG construction, wall-clock
+  discipline, ClusterState transaction discipline, span context-manager
+  usage, unordered float folds;
+* an interprocedural layer — cross-module symbol table and call graph
+  (:mod:`repro.analysis.callgraph`), per-function CFGs with exception
+  edges (:mod:`repro.analysis.cfg`) and a forward-dataflow framework
+  (:mod:`repro.analysis.dataflow`) — carrying the project-wide pack
+  REP006–REP009 (:mod:`repro.analysis.interp`): shared-memory lock
+  discipline, transaction balance over all paths, seed provenance
+  through helper wrappers, SoA mirror write discipline;
 * a mypy strictness ratchet (:mod:`repro.analysis.typing_ratchet`).
 
 Entry points: ``repro lint`` and ``python -m repro.analysis``.
 """
 
-from repro.analysis import rules  # noqa: F401  (registers the rule pack)
+from repro.analysis import interp, rules  # noqa: F401  (registers the rule packs)
 from repro.analysis.baseline import BaselineResult, compare, group_findings
+from repro.analysis.callgraph import CallGraph, Project
 from repro.analysis.cli import main
 from repro.analysis.context import ModuleContext
-from repro.analysis.engine import Rule, all_rules, get_rule, lint_paths, lint_source, register
+from repro.analysis.engine import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_project,
+    lint_source,
+    register,
+)
 from repro.analysis.findings import Finding
 
 __all__ = [
     "Finding",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
+    "Project",
+    "CallGraph",
     "register",
     "all_rules",
     "get_rule",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "BaselineResult",
     "compare",

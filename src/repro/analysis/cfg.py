@@ -1,0 +1,314 @@
+"""Per-function control-flow graphs with exception edges.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` into a statement-level
+:class:`CFG`: every simple statement (and the *header* of every compound
+statement — an ``if`` test, a ``while`` test, a ``for`` iterator) is one
+node, connected by
+
+* **normal** edges — sequential fall-through, branch targets, loop back
+  edges.  Edges leaving a conditional header carry the test expression
+  and the branch truth value, so a dataflow client can refine its state
+  per branch (:meth:`~repro.analysis.dataflow.ForwardAnalysis.assume`);
+* **exception** edges — from every statement that *may raise* (any
+  statement containing a call, plus ``raise`` and ``assert``) to the
+  innermost enclosing handler dispatch, or to the synthetic
+  :attr:`CFG.raise_exit` node when the exception escapes the function.
+
+Two synthetic sinks terminate every path: :attr:`CFG.exit` (normal
+return or falling off the end) and :attr:`CFG.raise_exit` (an escaping
+exception).  The transaction-balance rule (REP007) proves its invariant
+over *both* — the journal-leak bug class lives almost exclusively on the
+exception paths no test exercises.
+
+Soundness limits (documented in docs/ARCHITECTURE.md): statements
+without calls are assumed not to raise (a bare ``a + b`` can raise
+``TypeError``; modelling that would drown real findings in noise), and
+``finally`` blocks are built once, entered from both the normal and the
+exceptional side and exited to both continuations, which merges paths —
+clients doing definite-state reporting lose a little precision, never
+soundness, from that merge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["CFG", "Edge", "build_cfg", "NORMAL", "EXCEPTION"]
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+#: A frontier entry: (source node, branch condition, branch value).
+#: The condition/value pair is carried until the next statement node
+#: exists, then stamped onto the connecting edge.
+_Frontier = list[tuple[int, "ast.expr | None", "bool | None"]]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control-flow edge.
+
+    ``cond``/``branch`` are set on edges leaving a conditional header:
+    the edge is taken when ``cond`` evaluates to ``branch``.
+    """
+
+    src: int
+    dst: int
+    kind: str = NORMAL
+    cond: ast.expr | None = None
+    branch: bool | None = None
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function.
+
+    ``nodes[i]`` is the AST node represented by node id ``i`` (``None``
+    for the synthetic entry/exit/raise-exit/dispatch nodes);
+    ``labels[i]`` names every node for debugging and export.
+    """
+
+    nodes: list[ast.AST | None] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+    raise_exit: int = 0
+
+    def add_node(self, node: ast.AST | None, label: str = "") -> int:
+        self.nodes.append(node)
+        self.labels.append(label)
+        return len(self.nodes) - 1
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        kind: str = NORMAL,
+        cond: ast.expr | None = None,
+        branch: bool | None = None,
+    ) -> None:
+        self.edges.append(Edge(src, dst, kind, cond, branch))
+
+    def successors(self, node: int) -> Iterator[Edge]:
+        for edge in self.edges:
+            if edge.src == node:
+                yield edge
+
+    def predecessors(self, node: int) -> Iterator[Edge]:
+        for edge in self.edges:
+            if edge.dst == node:
+                yield edge
+
+    def lineno(self, node_id: int) -> int:
+        node = self.nodes[node_id]
+        return getattr(node, "lineno", 0) if node is not None else 0
+
+
+def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions a compound statement evaluates *at its own node*
+    (bodies are separate nodes and excluded)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # Defining a function/class does not run its body.
+        return list(stmt.decorator_list)
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return [stmt]
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """True when *stmt*'s own evaluation can raise (see module docstring
+    for the deliberate under-approximation)."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for expr in _header_exprs(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, (ast.Call, ast.Await, ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except BaseException:`` and — pragmatically,
+    documented in ARCHITECTURE.md — ``except Exception:``."""
+    if handler.type is None:
+        return True
+    names: list[str] = []
+    for sub in ast.walk(handler.type):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+    return any(name in ("BaseException", "Exception") for name in names)
+
+
+class _Builder:
+    """Recursive-descent CFG construction (one instance per function)."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self.cfg.add_node(None, "entry")
+        self.cfg.exit = self.cfg.add_node(None, "exit")
+        self.cfg.raise_exit = self.cfg.add_node(None, "raise-exit")
+        #: Innermost-first stack of exception targets (dispatch node ids).
+        self._handlers: list[int] = []
+        #: Innermost-first stack of (loop_header, break_collector) pairs.
+        self._loops: list[tuple[int, _Frontier]] = []
+
+    def build(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        frontier = self._stmts(fn.body, [(self.cfg.entry, None, None)])
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    # ----------------------------------------------------------- plumbing
+    def _exception_target(self) -> int:
+        return self._handlers[-1] if self._handlers else self.cfg.raise_exit
+
+    def _connect(self, frontier: _Frontier, target: int) -> None:
+        for src, cond, branch in frontier:
+            self.cfg.add_edge(src, target, NORMAL, cond, branch)
+
+    def _emit(self, stmt: ast.stmt, frontier: _Frontier, label: str = "") -> int:
+        """New node for *stmt*, wired from *frontier* plus its exception
+        edge when the statement may raise."""
+        node = self.cfg.add_node(stmt, label or type(stmt).__name__.lower())
+        self._connect(frontier, node)
+        if _may_raise(stmt):
+            self.cfg.add_edge(node, self._exception_target(), EXCEPTION)
+        return node
+
+    # ---------------------------------------------------------- statements
+    def _stmts(self, body: list[ast.stmt], frontier: _Frontier) -> _Frontier:
+        for stmt in body:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+
+        node = self._emit(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            self.cfg.add_edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            # _emit already added the exception edge; no fall-through.
+            return []
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][1].append((node, None, None))
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self.cfg.add_edge(node, self._loops[-1][0])
+            return []
+        return [(node, None, None)]
+
+    def _if(self, stmt: ast.If, frontier: _Frontier) -> _Frontier:
+        header = self._emit(stmt, frontier, "if")
+        out = self._stmts(stmt.body, [(header, stmt.test, True)])
+        if stmt.orelse:
+            out = out + self._stmts(stmt.orelse, [(header, stmt.test, False)])
+        else:
+            out = out + [(header, stmt.test, False)]
+        return out
+
+    def _while(self, stmt: ast.While, frontier: _Frontier) -> _Frontier:
+        header = self._emit(stmt, frontier, "while")
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_exit = self._stmts(stmt.body, [(header, stmt.test, True)])
+        self._loops.pop()
+        self._connect(body_exit, header)
+        while_true = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        if while_true:
+            return list(breaks)
+        false_exit: _Frontier = [(header, stmt.test, False)]
+        if stmt.orelse:
+            false_exit = self._stmts(stmt.orelse, false_exit)
+        return list(breaks) + false_exit
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, frontier: _Frontier) -> _Frontier:
+        header = self._emit(stmt, frontier, "for")
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_exit = self._stmts(stmt.body, [(header, None, None)])
+        self._loops.pop()
+        self._connect(body_exit, header)
+        exhausted: _Frontier = [(header, None, None)]
+        if stmt.orelse:
+            exhausted = self._stmts(stmt.orelse, exhausted)
+        return list(breaks) + exhausted
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, frontier: _Frontier) -> _Frontier:
+        header = self._emit(stmt, frontier, "with")
+        return self._stmts(stmt.body, [(header, None, None)])
+
+    def _match(self, stmt: ast.Match, frontier: _Frontier) -> _Frontier:
+        header = self._emit(stmt, frontier, "match")
+        out: _Frontier = [(header, None, None)]  # no case may match
+        for case in stmt.cases:
+            out = out + self._stmts(case.body, [(header, None, None)])
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: _Frontier) -> _Frontier:
+        dispatch = self.cfg.add_node(None, "except-dispatch")
+        self._handlers.append(dispatch)
+        body_exit = self._stmts(stmt.body, frontier)
+        self._handlers.pop()
+
+        if stmt.orelse:
+            body_exit = self._stmts(stmt.orelse, body_exit)
+
+        handler_exits: _Frontier = []
+        caught_all = False
+        for handler in stmt.handlers:
+            entry = self.cfg.add_node(handler, "except")
+            self.cfg.add_edge(dispatch, entry)
+            handler_exits = handler_exits + self._stmts(
+                handler.body, [(entry, None, None)]
+            )
+            caught_all = caught_all or _catches_everything(handler)
+
+        if stmt.finalbody:
+            fin_entry = self.cfg.add_node(None, "finally")
+            self._connect(body_exit + handler_exits, fin_entry)
+            # An in-flight exception (no handler matched, or none exist)
+            # runs the same finally block, then keeps propagating.
+            if not caught_all:
+                self.cfg.add_edge(dispatch, fin_entry, EXCEPTION)
+            fin_exit = self._stmts(stmt.finalbody, [(fin_entry, None, None)])
+            if not caught_all:
+                for src, _, _ in fin_exit:
+                    self.cfg.add_edge(src, self._exception_target(), EXCEPTION)
+            return fin_exit
+
+        if not caught_all:
+            # The exception may match no handler and keep propagating.
+            self.cfg.add_edge(dispatch, self._exception_target(), EXCEPTION)
+        return body_exit + handler_exits
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function (see module docstring)."""
+    return _Builder().build(fn)

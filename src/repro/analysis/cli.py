@@ -13,19 +13,28 @@ Runs the registered rule pack over the target paths (default:
 ``--no-baseline`` reports every finding as new (the nightly job uses it
 to keep the full debt inventory visible as an artifact); ``--rules``
 restricts the pack; ``--format json`` emits a machine-readable report.
+
+The interprocedural pack (REP006–REP009) runs by default; disable with
+``--no-interprocedural`` for a fast per-module pass.  ``--callgraph
+{dot,json}`` prints the resolved call graph instead of linting, and
+``--explain REPnnn`` prints one rule's contract, rationale and
+suppression example straight from its docstring.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import baseline as baseline_mod
+from repro.analysis import interp as _interp  # noqa: F401  (registers the pack)
 from repro.analysis import rules as _rules  # noqa: F401  (registers the pack)
-from repro.analysis.engine import all_rules, lint_paths
+from repro.analysis.callgraph import Project
+from repro.analysis.engine import all_rules, lint_paths, load_contexts
 
 __all__ = ["add_arguments", "run", "main", "find_root"]
 
@@ -82,15 +91,73 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         dest="output_format",
         help="report format",
     )
+    parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        default=True,
+        dest="interprocedural",
+        help="run the cross-module pack REP006-REP009 over the call "
+        "graph (default: on)",
+    )
+    parser.add_argument(
+        "--no-interprocedural",
+        action="store_false",
+        dest="interprocedural",
+        help="per-module rules only (fast path; skips REP006-REP009)",
+    )
+    parser.add_argument(
+        "--callgraph",
+        choices=("dot", "json"),
+        default=None,
+        metavar="FMT",
+        help="print the resolved call graph of the target (dot|json) "
+        "instead of linting",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="REPnnn",
+        help="print one rule's contract, rationale and suppression "
+        "example, then exit",
+    )
+
+
+def explain(rule_ref: str) -> int:
+    """Print one rule's docstring (contract / rationale / suppression)."""
+    from repro.analysis.engine import get_rule
+
+    try:
+        rule = get_rule(rule_ref.strip())
+    except KeyError:
+        known = ", ".join(r.rule_id for r in all_rules())
+        print(f"lint: unknown rule {rule_ref!r} (known: {known})", file=sys.stderr)
+        return 2
+    doc = inspect.getdoc(type(rule)) or rule.description
+    print(f"{rule.rule_id} ({rule.slug})")
+    print("=" * (len(rule.rule_id) + len(rule.slug) + 3))
+    print(doc)
+    return 0
 
 
 def run(args: argparse.Namespace) -> int:
+    if getattr(args, "explain", None):
+        return explain(args.explain)
     root = find_root(Path(args.root) if args.root else Path.cwd())
     paths = (
         [Path(p) for p in args.paths]
         if args.paths
         else [root / "src" / "repro"]
     )
+    if getattr(args, "callgraph", None):
+        contexts, errors = load_contexts(paths, root)
+        for finding in errors:
+            print(finding.format(), file=sys.stderr)
+        graph = Project(contexts.values()).graph
+        if args.callgraph == "dot":
+            print(graph.to_dot(), end="")
+        else:
+            print(json.dumps(graph.to_json(), indent=2))
+        return 0
     selected = None
     if args.rules:
         wanted = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
@@ -100,7 +167,9 @@ def run(args: argparse.Namespace) -> int:
             print(f"lint: unknown rules {sorted(unknown)}", file=sys.stderr)
             return 2
 
-    findings = lint_paths(paths, root, rules=selected)
+    findings = lint_paths(
+        paths, root, rules=selected, interprocedural=args.interprocedural
+    )
     baseline_path = (
         Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     )
@@ -140,9 +209,12 @@ def run(args: argparse.Namespace) -> int:
             "`python -m repro.analysis --update-baseline` to lock that in"
         )
     if result.new:
+        rule_ids = sorted({f.rule_id for f in result.new})
         print(
             f"lint: {len(result.new)} new finding(s), "
-            f"{len(result.grandfathered)} grandfathered"
+            f"{len(result.grandfathered)} grandfathered — run "
+            f"`repro lint --explain {rule_ids[0]}` for the contract behind "
+            "each rule"
         )
         return 1
     print(
@@ -155,8 +227,9 @@ def run(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="AST invariant linter for determinism, RNG and "
-        "transaction discipline (rules REP001-REP005)",
+        description="AST invariant linter for determinism, RNG, lock and "
+        "transaction discipline (per-module rules REP001-REP005, "
+        "interprocedural rules REP006-REP009)",
     )
     add_arguments(parser)
     return run(parser.parse_args(argv))

@@ -1,0 +1,107 @@
+"""A small forward-dataflow framework over :mod:`repro.analysis.cfg`.
+
+The classic worklist fixpoint, shaped for invariant rules:
+
+* a client subclasses :class:`ForwardAnalysis` with an *immutable* state
+  type (states are compared with ``==`` to detect the fixpoint — mutable
+  aliased states would terminate early or never);
+* :meth:`transfer` produces the state after one statement;
+* :meth:`transfer_exception` produces the state carried along an
+  exception edge — the default is the **in**-state, because a statement
+  that raises did not complete (``x.commit()`` raising leaves the
+  transaction open);
+* :meth:`assume` refines the state along conditional edges, enabling
+  the light path-sensitivity REP007 needs for the guarded-rollback idiom
+  (``if state.in_transaction: state.rollback()``);
+* :meth:`join` merges states at control-flow merges.  Clients that
+  report only *definite* facts (join to a MAYBE element, never report
+  MAYBE) get conservative, false-positive-free findings out of the box.
+
+:func:`run_forward` returns per-node input states **and** per-edge
+states; rules that care where a path *leaves* the function (REP007's
+leak-at-exit check) read the edge states into ``cfg.exit`` and
+``cfg.raise_exit`` rather than the joined sink state, keeping one
+clean path's verdict from being smeared by another's.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.analysis.cfg import CFG, EXCEPTION
+
+__all__ = ["ForwardAnalysis", "DataflowResult", "run_forward"]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Client interface of the forward worklist solver."""
+
+    def initial(self) -> S:
+        """State on entry to the function."""
+        raise NotImplementedError
+
+    def transfer(self, node: ast.AST | None, state: S) -> S:
+        """State after executing *node* (synthetic nodes pass ``None``)."""
+        raise NotImplementedError
+
+    def transfer_exception(self, node: ast.AST | None, state: S) -> S:
+        """State carried on *node*'s exception edge (default: in-state —
+        a raising statement did not complete)."""
+        return state
+
+    def assume(self, cond: ast.expr, branch: bool, state: S) -> S:
+        """Refine *state* knowing *cond* evaluated to *branch*."""
+        return state
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[S]):
+    """Fixpoint of one analysis over one CFG.
+
+    ``in_states[n]`` is the joined state entering node ``n`` (absent for
+    unreachable nodes); ``edge_states[i]`` is the state flowing along
+    ``cfg.edges[i]`` after transfer/assume refinement.
+    """
+
+    in_states: dict[int, S]
+    edge_states: dict[int, S]
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[S]) -> DataflowResult[S]:
+    """Worklist fixpoint of *analysis* over *cfg* (see module docstring)."""
+    succ: dict[int, list[int]] = {}
+    for idx, edge in enumerate(cfg.edges):
+        succ.setdefault(edge.src, []).append(idx)
+
+    in_states: dict[int, S] = {cfg.entry: analysis.initial()}
+    edge_states: dict[int, S] = {}
+    worklist: list[int] = [cfg.entry]
+    # Deterministic processing order: lowest node id first.  The result
+    # is order-independent (it is a fixpoint) but the trace is stable.
+    while worklist:
+        worklist.sort()
+        node = worklist.pop(0)
+        state = in_states[node]
+        out = analysis.transfer(cfg.nodes[node], state)
+        exc = analysis.transfer_exception(cfg.nodes[node], state)
+        for idx in succ.get(node, ()):
+            edge = cfg.edges[idx]
+            carried = exc if edge.kind == EXCEPTION else out
+            if edge.cond is not None and edge.branch is not None:
+                carried = analysis.assume(edge.cond, edge.branch, carried)
+            if idx not in edge_states or edge_states[idx] != carried:
+                edge_states[idx] = carried
+            old = in_states.get(edge.dst)
+            new = carried if old is None else analysis.join(old, carried)
+            if old is None or new != old:
+                in_states[edge.dst] = new
+                if edge.dst not in worklist:
+                    worklist.append(edge.dst)
+    return DataflowResult(in_states, edge_states)

@@ -7,6 +7,13 @@ every (selected) rule over it, drops findings covered by inline
 ``# repro: allow-<rule>`` suppressions, and returns the survivors in
 deterministic (file, line, rule) order.
 
+Interprocedural rules subclass :class:`ProjectRule` instead: they see a
+:class:`~repro.analysis.callgraph.Project` — every module at once, plus
+the symbol table and call graph built from them — and run after the
+per-module pass (:func:`lint_paths` with ``interprocedural=True``, the
+default).  Their findings go through the same suppression and ratchet
+machinery, keyed by the module each finding lands in.
+
 The engine is deliberately zero-dependency (stdlib ``ast`` only): the
 invariants it checks — seeded determinism, simulated-time discipline,
 transactional state mutation — are exactly the ones that must hold in
@@ -17,12 +24,23 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.analysis.callgraph import Project
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
 
-__all__ = ["Rule", "register", "all_rules", "get_rule", "lint_paths", "lint_source"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "lint_project",
+    "load_contexts",
+]
 
 
 class Rule:
@@ -52,6 +70,28 @@ class Rule:
             rule_id=self.rule_id,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for one *interprocedural* invariant check.
+
+    Subclasses implement :meth:`check_project`, yielding findings over a
+    whole :class:`~repro.analysis.callgraph.Project` (symbol table +
+    call graph).  The per-module :meth:`check` hook is a no-op: project
+    rules produce nothing when the driver runs single-module
+    (``lint_source``, or ``lint_paths(interprocedural=False)``) — which
+    is exactly the property the cross-module fixtures in
+    ``tests/test_analysis.py`` pin down.
+
+    :meth:`applies_to` filters project findings by the file each one
+    lands in, same semantics as for module rules.
+    """
+
+    def check(self, mod: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -104,16 +144,13 @@ def lint_source(
     return sorted(out)
 
 
-def lint_paths(
-    paths: Sequence[Path],
-    root: Path,
-    *,
-    rules: Iterable[Rule] | None = None,
-) -> list[Finding]:
-    """Lint every ``.py`` file under *paths*; findings are repo-relative
-    to *root* and sorted (file, line, rule)."""
-    selected = tuple(rules) if rules is not None else all_rules()
-    findings: list[Finding] = []
+def load_contexts(
+    paths: Sequence[Path], root: Path
+) -> tuple[dict[str, ModuleContext], list[Finding]]:
+    """Parse every ``.py`` file under *paths* into a ModuleContext keyed
+    by repo-relative path; unparseable files become REP000 findings."""
+    contexts: dict[str, ModuleContext] = {}
+    errors: list[Finding] = []
     for path in _iter_py_files(paths):
         try:
             rel = path.resolve().relative_to(root.resolve()).as_posix()
@@ -121,9 +158,85 @@ def lint_paths(
             rel = path.as_posix()
         source = path.read_text(encoding="utf-8")
         try:
-            findings.extend(lint_source(source, rel, rules=selected, path=path))
+            contexts[rel] = ModuleContext(path, rel, source)
         except SyntaxError as exc:  # pragma: no cover - repo parses today
-            findings.append(
+            errors.append(
                 Finding(rel, exc.lineno or 0, "REP000", f"syntax error: {exc.msg}")
             )
+    return contexts, errors
+
+
+def _run_project_rules(
+    project: Project, rules: Sequence[ProjectRule]
+) -> list[Finding]:
+    out: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            if not rule.applies_to(finding.file):
+                continue
+            mod = project.context_of(finding.file)
+            if mod is not None and mod.is_suppressed(
+                finding.line, rule.rule_id, rule.slug
+            ):
+                continue
+            out.append(finding)
+    return out
+
+
+def lint_project(
+    sources: Mapping[str, str],
+    *,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory multi-module project ``{rel: source}`` — the
+    unit the cross-module fixture tests drive.  Runs both the per-module
+    and the interprocedural passes."""
+    selected = tuple(rules) if rules is not None else all_rules()
+    module_rules = [r for r in selected if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in selected if isinstance(r, ProjectRule)]
+    findings: list[Finding] = []
+    contexts: dict[str, ModuleContext] = {}
+    for rel in sorted(sources):
+        mod = ModuleContext(Path(rel), rel, sources[rel])
+        contexts[rel] = mod
+        for rule in module_rules:
+            if not rule.applies_to(rel):
+                continue
+            for finding in rule.check(mod):
+                if not mod.is_suppressed(finding.line, rule.rule_id, rule.slug):
+                    findings.append(finding)
+    if project_rules and contexts:
+        findings.extend(
+            _run_project_rules(Project(contexts.values()), project_rules)
+        )
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    *,
+    rules: Iterable[Rule] | None = None,
+    interprocedural: bool = True,
+) -> list[Finding]:
+    """Lint every ``.py`` file under *paths*; findings are repo-relative
+    to *root* and sorted (file, line, rule).  With *interprocedural*
+    (the default), the whole target is additionally analysed as one
+    :class:`~repro.analysis.callgraph.Project` and the
+    :class:`ProjectRule` pack runs over its call graph."""
+    selected = tuple(rules) if rules is not None else all_rules()
+    module_rules = [r for r in selected if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in selected if isinstance(r, ProjectRule)]
+    contexts, findings = load_contexts(paths, root)
+    for rel, mod in contexts.items():
+        for rule in module_rules:
+            if not rule.applies_to(rel):
+                continue
+            for finding in rule.check(mod):
+                if not mod.is_suppressed(finding.line, rule.rule_id, rule.slug):
+                    findings.append(finding)
+    if interprocedural and project_rules and contexts:
+        findings.extend(
+            _run_project_rules(Project(contexts.values()), project_rules)
+        )
     return sorted(findings)

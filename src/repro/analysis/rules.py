@@ -76,6 +76,30 @@ def _seed_argument(call: ast.Call, keyword: str) -> ast.AST | None:
 
 @register
 class RngSeedRule(Rule):
+    """RNG constructed with a literal or missing seed.
+
+    Contract:
+        Every ``numpy.random.default_rng(...)`` / ``SeedSequence(...)``
+        call receives a *dynamic* seed expression — a config value, a
+        parameter, or a ``SeedSequence.spawn`` child.  Literal seeds,
+        missing seeds, and the legacy ``numpy.random.seed`` /
+        ``RandomState`` APIs are all violations.
+
+    Rationale:
+        Bitwise-reproducible trajectories require every stream to derive
+        from the one configured seed.  A literal shadows that seed
+        silently: the run "works" but replays a fixed realization no
+        matter what the config says (PR 2 fixed a recovery bug of
+        exactly this class).  REP008 extends this check across call
+        boundaries to seeds laundered through helper parameters.
+
+    Suppression:
+        ``# repro: allow-rng-seed`` on the offending line (or alone on
+        the line above), with a comment saying why this stream must not
+        follow the configured seed — e.g. a deliberately adversarial
+        fixture generator.
+    """
+
     rule_id = "REP001"
     slug = "rng-seed"
     description = (
@@ -158,6 +182,28 @@ _WALL_CLOCK_ALLOWED_FILES = frozenset(
 
 @register
 class WallClockRule(Rule):
+    """Wall-clock read (or stdlib ``random``) in simulation/algorithm code.
+
+    Contract:
+        Inside ``src/repro/`` — excluding ``experiments/``,
+        ``parallel/``, ``obs/``, ``analysis/`` and the CLI entry points,
+        where real time is the measured quantity — no call to
+        ``time.*`` clock readers or ``datetime`` "now" constructors, and
+        no import of stdlib ``random``.
+
+    Rationale:
+        Simulated components must take time from
+        ``repro.runtime.SimClock`` (or an injected clock) so traces are
+        deterministic and replayable; a wall-clock read makes results
+        depend on host speed.  Stdlib ``random`` is a second, unseeded
+        RNG source next to the numpy Generator threaded from config.
+
+    Suppression:
+        ``# repro: allow-wall-clock`` on the line, reserved for genuine
+        runtime *reporting* sites inside scope (progress timestamps in
+        logs) — never for anything that feeds back into results.
+    """
+
     rule_id = "REP002"
     slug = "wall-clock"
     description = (
@@ -217,6 +263,10 @@ _STATE_PRIVATE_ATTRS = frozenset(
         "_replica_hosts",
         "_replica_conflicts",
         "_norm_demand",
+        "_loads_t",
+        "_peak_block",
+        "_block_dirty",
+        "_block_any_dirty",
     }
 )
 _STATE_PRIVATE_METHODS = frozenset(
@@ -254,6 +304,32 @@ _STATE_VIEW_CALLS = frozenset(
 
 @register
 class StateMutationRule(Rule):
+    """Direct mutation of ``ClusterState`` internals outside
+    ``cluster/state.py``.
+
+    Contract:
+        Outside ``src/repro/cluster/state.py``, no attribute or
+        subscript write to the private caches (``_loads``, ``_peak``,
+        ``_loads_t``, ``_peak_block``, …), no call to the private
+        maintenance methods, and no subscript store through the
+        view-returning properties (``loads``, ``assignment``, …) or
+        ``*_view()`` accessors.
+
+    Rationale:
+        Every legal mutation flows through the transactional API
+        (``begin`` / ``move`` / ``assign_shard`` / ``commit`` /
+        ``rollback``) so the undo journal and the delta-evaluation
+        caches stay coherent.  A direct write bypasses both: rollback
+        silently restores stale values and incremental objectives drift
+        from the arrays.  REP009 extends this to *aliases* of the
+        mirror arrays that cross function boundaries.
+
+    Suppression:
+        ``# repro: allow-state-mutation`` on the line.  Legitimate only
+        in code that provably owns a private copy (e.g. a frame restored
+        from a snapshot) — say so in an adjacent comment.
+    """
+
     rule_id = "REP003"
     slug = "state-mutation"
     description = (
@@ -293,7 +369,14 @@ class StateMutationRule(Rule):
             for elt in target.elts:
                 yield from self._check_target(mod, elt)
             return
-        if isinstance(target, ast.Attribute) and target.attr in _STATE_PRIVATE_ATTRS:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _STATE_PRIVATE_ATTRS
+            # A foreign write goes through a state reference
+            # (state._loads = ...); a bare-self attribute is another
+            # class's own field that happens to share the name.
+            and not _is_self(target.value)
+        ):
             yield self.finding(
                 mod,
                 target,
@@ -350,6 +433,25 @@ def _is_self(node: ast.AST) -> bool:
 
 @register
 class SpanContextRule(Rule):
+    """``Tracer.span(...)`` used other than as a ``with`` context manager.
+
+    Contract:
+        Every call whose attribute name is ``span`` appears as the
+        context expression of a ``with`` item; assigning the span object
+        and entering it manually is a violation.
+
+    Rationale:
+        A manually entered span leaks on any exception path between
+        ``__enter__`` and the matching exit, which corrupts the trace
+        tree for every later span in the same tracer — the damage shows
+        up far from the bug.
+
+    Suppression:
+        ``# repro: allow-span-context`` on the line, for the rare
+        framework-level site that stores a span across an async boundary
+        and provably closes it in a ``finally``.
+    """
+
     rule_id = "REP004"
     slug = "span-context"
     description = (
@@ -389,6 +491,26 @@ def _is_unordered(mod: ModuleContext, node: ast.AST) -> bool:
 
 @register
 class UnorderedFoldRule(Rule):
+    """Float accumulation over ``set`` / ``frozenset`` iteration.
+
+    Contract:
+        In ``src/repro/algorithms/`` and ``src/repro/metrics/``, no
+        ``for``-loop accumulation (``+=`` in the body) over a set
+        expression, and no ``sum()`` / ``math.fsum()`` / ``numpy.sum()``
+        over a set or a comprehension drawing from one.
+
+    Rationale:
+        Float addition is not associative, and set iteration order
+        varies with hash seeding and insertion history — so the same
+        inputs with the same seeds can fold to different totals between
+        runs or processes.  Iterate ``sorted(...)`` to pin the order.
+
+    Suppression:
+        ``# repro: allow-unordered-fold`` on the line, when the
+        accumulator is order-insensitive (integer counts, max/min) and
+        a comment says so.
+    """
+
     rule_id = "REP005"
     slug = "unordered-fold"
     description = (

@@ -211,8 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the AST invariant linter (REP001-REP005) with the "
-             "committed ratchet baseline",
+        help="run the AST invariant linter (per-module REP001-REP005, "
+             "interprocedural REP006-REP009) with the committed ratchet "
+             "baseline",
     )
     from repro.analysis.cli import add_arguments as _add_lint_arguments
 

@@ -50,7 +50,7 @@ import multiprocessing as mp
 from dataclasses import dataclass
 from multiprocessing.shared_memory import SharedMemory
 from types import TracebackType
-from typing import Any, Mapping
+from typing import Any, Mapping, Protocol
 
 import numpy as np
 
@@ -61,6 +61,7 @@ from repro.cluster.shard import Shard
 
 __all__ = [
     "ArraySpec",
+    "LockLike",
     "StateHandle",
     "SharedState",
     "AttachedState",
@@ -312,11 +313,42 @@ class _SlotView:
         return 16 + 8 * n + m
 
 
-class _NullLock:
-    """No-op lock for single-process (serial cooperative) exchange."""
+class LockLike(Protocol):
+    """Structural protocol shared by ``multiprocessing.Lock`` and
+    :class:`_NullLock`: context-manager entry/exit plus explicit
+    acquire/release.  Everything in this module that takes a lock is
+    typed against this protocol, so the serial no-op path and the real
+    multiprocessing path go through the same interface — no
+    special-casing in strict mypy or in the REP006 lock-discipline
+    check."""
 
-    def __enter__(self) -> "_NullLock":
-        return self
+    def acquire(self, block: bool = True, timeout: float | None = None) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None: ...
+
+
+class _NullLock:
+    """No-op :class:`LockLike` for single-process (serial cooperative)
+    exchange: a second holder is impossible, so acquisition always
+    succeeds immediately."""
+
+    def acquire(self, block: bool = True, timeout: float | None = None) -> bool:
+        return True
+
+    def release(self) -> None:
+        return None
+
+    def __enter__(self) -> bool:
+        return self.acquire()
 
     def __exit__(
         self,
@@ -324,7 +356,7 @@ class _NullLock:
         exc: BaseException | None,
         tb: TracebackType | None,
     ) -> None:
-        return None
+        self.release()
 
 
 class IncumbentSlot:
@@ -348,7 +380,7 @@ class IncumbentSlot:
         self._shm.buf[: _SlotView.nbytes(num_shards, num_machines)] = bytes(
             _SlotView.nbytes(num_shards, num_machines)
         )
-        self.lock = (ctx or mp.get_context()).Lock()
+        self.lock: LockLike = (ctx or mp.get_context()).Lock()
         self.handle = IncumbentHandle(
             segment=self._shm.name,
             num_shards=num_shards,
@@ -408,11 +440,11 @@ class IncumbentExchange:
     cannot ping-pong an incumbent between workers.
     """
 
-    def __init__(self, view: _SlotView, lock: Any, period: int = 50) -> None:
+    def __init__(self, view: _SlotView, lock: LockLike, period: int = 50) -> None:
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
         self._view = view
-        self._lock = lock
+        self._lock: LockLike = lock
         self.period = int(period)
         self._seen_version = 0
 
@@ -463,7 +495,7 @@ class IncumbentExchange:
 
 
 def attach_incumbent(
-    handle: IncumbentHandle, lock: Any, period: int = 50
+    handle: IncumbentHandle, lock: LockLike, period: int = 50
 ) -> IncumbentExchange:
     """Worker-side client over the slot *handle* (attach-only; the
     parent unlinks)."""

@@ -28,7 +28,7 @@ def synthetic_profile(
     postings_per_cpu_second: float,
     num_queries: int = 64,
     noise: float = 0.25,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> WorkProfile:
     """Build a per-query work matrix matching *state*'s CPU demand.
 
@@ -44,6 +44,12 @@ def synthetic_profile(
     check_positive("postings_per_cpu_second", postings_per_cpu_second)
     check_positive("num_queries", num_queries)
     check_non_negative("noise", noise)
+    if noise > 0 and seed is None:
+        raise ValueError(
+            "seed is required when noise > 0 — thread the configured seed "
+            "(a silent default would fix every 'random' profile to one "
+            "realization)"
+        )
     cpu_idx = state.schema.index("cpu") if "cpu" in state.schema.names else 0
     per_query = (
         state.demand[:, cpu_idx] * postings_per_cpu_second / queries_per_second
